@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates its paper table/figure once (expensive part,
+kept out of the timed section), saves the rendered text under
+``benchmarks/results/`` and echoes it into the pytest-benchmark report via
+``extra_info``, then times one representative client operation so
+``pytest benchmarks/ --benchmark-only`` yields meaningful numbers.
+
+Set ``REPRO_FULL_SCALE=1`` to run at the paper's exact scales.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_result(name: str, text: str) -> str:
+    """Persist a regenerated table/figure and return its path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

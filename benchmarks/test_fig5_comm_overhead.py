@@ -1,0 +1,66 @@
+"""Figure 5: communication overhead of delete/insert/access vs file size.
+
+Regenerates the sweep (10 .. 10^6 items by default, 10^7 with
+REPRO_FULL_SCALE=1), asserts the paper's qualitative shape (logarithmic
+growth, delete > insert > access, modest absolute size), and benchmarks
+the deletion exchange at the top of the grid.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.analysis.config import figure_grid
+from repro.analysis.figures import log_growth_ratio, render_figure5, run_sweep
+from repro.analysis.harness import build_seeded_file
+from repro.crypto.rng import DeterministicRandom
+from repro.sim.workload import PAPER_ITEM_SIZE
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    result = run_sweep()
+    save_result("fig5_comm_overhead", render_figure5(result))
+    print("\n" + render_figure5(result))
+    return result
+
+
+def test_regenerate_figure5(sweep):
+    grid = figure_grid()
+    top = grid[-1]
+    for op in ("delete", "insert", "access"):
+        series = sweep.comm_bytes[op]
+        # Monotone-ish growth across decades, but far below linear: the
+        # whole sweep spans 5+ orders of magnitude of n within one order
+        # of magnitude of bytes.
+        assert series[top] > series[grid[0]]
+        assert series[top] < 20 * series[grid[0]]
+
+    # Paper's ordering and magnitudes: delete carries the MT + deltas +
+    # balancing; access only a path.  At 10^6-10^7 the paper's delete
+    # curve sits around 2-3 KB.
+    assert sweep.comm_bytes["delete"][top] > sweep.comm_bytes["insert"][top]
+    assert sweep.comm_bytes["insert"][top] > sweep.comm_bytes["access"][top]
+    assert sweep.comm_bytes["delete"][top] < 8 * 1024
+
+
+def test_growth_is_logarithmic(sweep):
+    """Per-decade increments are roughly constant (log shape)."""
+    for op in ("delete", "insert", "access"):
+        ratio = log_growth_ratio(sweep.comm_bytes[op])
+        assert 0.0 < ratio < 1.5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_delete_exchange_at_top_of_grid(benchmark, sweep):
+    n = figure_grid()[-1]
+    handle = build_seeded_file(n, PAPER_ITEM_SIZE, seed="fig5-bench")
+    rng = DeterministicRandom("fig5-pick")
+    picked: set[int] = set()
+    while len(picked) < 64:
+        picked.add(rng.below(n))
+    queue = sorted(picked)
+
+    def delete_one():
+        handle.scheme.delete(handle.item_id(queue.pop()))
+
+    benchmark.pedantic(delete_one, rounds=5, iterations=1)

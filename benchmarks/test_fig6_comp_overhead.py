@@ -1,0 +1,83 @@
+"""Figure 6: client computation of delete/access/insert vs file size.
+
+Regenerates the sweep and its exact hash-count companion, asserts the
+paper's qualitative shape (logarithmic growth of the tree-walk term,
+delete > insert/access), and benchmarks the pure client-side delta
+computation at the top of the grid.
+
+Wall-clock values carry the Python interpreter constant (the paper's
+C-speed client reports ~0.24 ms where we see ~15 ms, dominated by the
+4 KB item hash); the hash-count series isolates the O(log n) claim
+exactly.  EXPERIMENTS.md discusses the normalisation.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.analysis.config import figure_grid
+from repro.analysis.figures import render_figure6, run_sweep
+from repro.core import ops
+from repro.core.modulated_chain import ChainEngine
+from repro.core.tree import ModulationTree
+from repro.crypto.rng import DeterministicRandom
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    result = run_sweep()
+    save_result("fig6_comp_overhead", render_figure6(result))
+    print("\n" + render_figure6(result))
+    return result
+
+
+def test_regenerate_figure6(sweep):
+    grid = figure_grid()
+    top, bottom = grid[-1], grid[0]
+    for op in ("delete", "insert", "access"):
+        hashes = sweep.hash_calls[op]
+        # The hash count grows with every decade and is O(log n): going
+        # from 10 to 10^6 items multiplies the count by far less than the
+        # 10^5x a linear scheme would show.
+        assert hashes[top] > hashes[bottom]
+        assert hashes[top] < 40 * hashes[bottom]
+        assert sweep.comp_seconds[op][top] > 0
+
+    # Deletion does the most client work (two prefix sweeps + cut deltas
+    # + balancing) at every size.
+    for n in grid:
+        assert sweep.hash_calls["delete"][n] > sweep.hash_calls["insert"][n]
+        assert sweep.hash_calls["delete"][n] > sweep.hash_calls["access"][n]
+
+
+def test_hash_count_increment_per_decade_is_constant(sweep):
+    """The defining property of a log curve, on noise-free counts."""
+    series = sweep.hash_calls["delete"]
+    ns = sorted(series)
+    increments = [series[b] - series[a] for a, b in zip(ns[1:], ns[2:])]
+    assert max(increments) <= 2.5 * max(min(increments), 1)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_client_delta_computation(benchmark, sweep):
+    """Times exactly the client-side O(log n) computation of a deletion
+    (delta set + balancing values), excluding transport and item crypto --
+    the closest analogue of the paper's Figure 6 deletion curve."""
+    n = figure_grid()[-1]
+    engine = ChainEngine()
+    rng = DeterministicRandom("fig6-bench")
+    # A lazily-seeded server-side tree provides the views.
+    from repro.core.modstore import LazySeededStore
+    store = LazySeededStore(engine.digest_size, b"fig6")
+    tree = ModulationTree.adopt_arithmetic(store, n, 1)
+    slot = tree.slot_of_item(n // 2)
+    mt = tree.mt_view(slot)
+    balance = tree.balance_view()
+    old_key = rng.bytes(16)
+
+    def compute():
+        new_key = rng.bytes(16)
+        cut_slots, deltas = ops.compute_deltas(engine, old_key, new_key, mt)
+        return ops.compute_balance_values(engine, new_key, mt, balance,
+                                          cut_slots, deltas, rng)
+
+    benchmark(compute)

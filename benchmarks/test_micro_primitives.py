@@ -1,0 +1,81 @@
+"""Microbenchmarks of the crypto substrate and the key-modulation core.
+
+These are the constants behind every figure: the chain-hash step, the AES
+block, bulk CTR throughput, chain evaluation at the paper's depths, and
+the item codec at the paper's 4 KB item size.
+"""
+
+import pytest
+
+from repro.core.ciphertext import ItemCodec
+from repro.core.modulated_chain import ChainEngine
+from repro.core.params import Params
+from repro.crypto.aes import AES
+from repro.crypto.bulk import ctr_transform
+from repro.crypto.rng import DeterministicRandom
+from repro.crypto.sha1 import sha1
+
+rng = DeterministicRandom("micro")
+
+
+@pytest.mark.benchmark(group="micro-hash")
+def test_sha1_short_input(benchmark):
+    """One chain step hashes a digest-wide value (20 bytes)."""
+    data = rng.bytes(20)
+    benchmark(lambda: sha1(data))
+
+
+@pytest.mark.benchmark(group="micro-hash")
+def test_sha1_item_sized_input(benchmark):
+    """The per-item integrity hash covers a 4 KB item."""
+    data = rng.bytes(4096)
+    benchmark(lambda: sha1(data))
+
+
+@pytest.mark.benchmark(group="micro-aes")
+def test_aes_block(benchmark):
+    cipher = AES(rng.bytes(16))
+    block = rng.bytes(16)
+    benchmark(lambda: cipher.encrypt_block(block))
+
+
+@pytest.mark.benchmark(group="micro-aes")
+def test_bulk_ctr_4kb(benchmark):
+    key, nonce = rng.bytes(16), rng.bytes(8)
+    data = rng.bytes(4096)
+    benchmark(lambda: ctr_transform(key, nonce, data))
+
+
+@pytest.mark.benchmark(group="micro-aes")
+def test_bulk_ctr_1mb(benchmark):
+    key, nonce = rng.bytes(16), rng.bytes(8)
+    data = rng.bytes(1 << 20)
+    benchmark(lambda: ctr_transform(key, nonce, data))
+
+
+@pytest.mark.parametrize("depth", [7, 17, 24],
+                         ids=["n=10^2", "n=10^5", "n=10^7"])
+@pytest.mark.benchmark(group="micro-chain")
+def test_chain_evaluation_at_depth(benchmark, depth):
+    """F(K, M) over path lengths matching the paper's n grid."""
+    engine = ChainEngine()
+    key = rng.bytes(16)
+    modulators = [rng.bytes(20) for _ in range(depth + 1)]
+    benchmark(lambda: engine.evaluate(key, modulators))
+
+
+@pytest.mark.benchmark(group="micro-codec")
+def test_item_encrypt_4kb(benchmark):
+    codec = ItemCodec(Params())
+    chain_output = rng.bytes(20)
+    message = rng.bytes(4096)
+    nonce = rng.bytes(8)
+    benchmark(lambda: codec.encrypt(chain_output, message, 1, nonce))
+
+
+@pytest.mark.benchmark(group="micro-codec")
+def test_item_decrypt_verify_4kb(benchmark):
+    codec = ItemCodec(Params())
+    chain_output = rng.bytes(20)
+    ciphertext = codec.encrypt(chain_output, rng.bytes(4096), 1, rng.bytes(8))
+    benchmark(lambda: codec.decrypt(chain_output, ciphertext))

@@ -1,0 +1,74 @@
+"""Table I: complexity comparison (client storage, deletion comm/comp).
+
+Regenerates the table by measuring all three solutions across the size
+grid and fitting growth laws, asserts the fitted classes match the
+paper's claims, and benchmarks one deletion of each solution at the
+largest grid point.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.analysis.complexity import PAPER_CLAIMS, run_table1
+from repro.baselines.base import BlobStoreServer
+from repro.baselines.individual_key import IndividualKeySolution
+from repro.baselines.keymod import KeyModulationScheme
+from repro.baselines.master_key import MasterKeySolution
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol.channel import LoopbackChannel
+from repro.server.server import CloudServer
+from repro.sim.workload import make_items
+
+N_BENCH = 2048
+_ITEM = 64
+
+
+@pytest.fixture(scope="module")
+def table1():
+    table, fits = run_table1()
+    save_result("table1_complexity", table)
+    print("\n" + table)
+    return table, fits
+
+
+def test_regenerate_table1(table1):
+    _table, fits = table1
+    assert fits == PAPER_CLAIMS
+
+
+def _deletion_queue(scheme_factory, seed):
+    scheme = scheme_factory(seed)
+    items = make_items(N_BENCH, _ITEM, DeterministicRandom(seed + "-items"))
+    ids = scheme.outsource(items)
+    queue = list(ids)
+    return scheme, queue
+
+
+@pytest.mark.benchmark(group="table1-delete")
+def test_delete_our_work(benchmark, table1):
+    scheme, queue = _deletion_queue(
+        lambda seed: KeyModulationScheme(LoopbackChannel(CloudServer()),
+                                         rng=DeterministicRandom(seed)),
+        "t1b-ours")
+    benchmark.pedantic(lambda: scheme.delete(queue.pop()), rounds=10,
+                       iterations=1)
+
+
+@pytest.mark.benchmark(group="table1-delete")
+def test_delete_individual_key(benchmark):
+    scheme, queue = _deletion_queue(
+        lambda seed: IndividualKeySolution(LoopbackChannel(BlobStoreServer()),
+                                           rng=DeterministicRandom(seed)),
+        "t1b-ik")
+    benchmark.pedantic(lambda: scheme.delete(queue.pop()), rounds=10,
+                       iterations=1)
+
+
+@pytest.mark.benchmark(group="table1-delete")
+def test_delete_master_key(benchmark):
+    scheme, queue = _deletion_queue(
+        lambda seed: MasterKeySolution(LoopbackChannel(BlobStoreServer()),
+                                       rng=DeterministicRandom(seed)),
+        "t1b-mk")
+    benchmark.pedantic(lambda: scheme.delete(queue.pop()), rounds=3,
+                       iterations=1)

@@ -1,0 +1,53 @@
+"""Table III: whole-file access overhead ratios.
+
+Regenerates the ratios (comm ratio exact at all paper sizes; comp ratio
+measured on real fetches), asserts size-insensitivity, and benchmarks the
+whole-file key-derivation pass that constitutes the overhead.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.analysis.table3 import exact_comm_ratio, run_table3
+from repro.analysis.harness import build_dense_file
+from repro.protocol import messages as msg
+
+
+@pytest.fixture(scope="module")
+def table3():
+    table, rows = run_table3()
+    save_result("table3_whole_file", table)
+    print("\n" + table)
+    return rows
+
+
+def test_regenerate_table3(table3):
+    rows = table3
+    assert len(rows) >= 2
+    # Comm ratio small and insensitive to file size (paper: <1%, flat).
+    comm_ratios = [row.comm_ratio for row in rows]
+    assert all(ratio < 0.02 for ratio in comm_ratios)
+    assert max(comm_ratios) - min(comm_ratios) < 0.002
+    # Comp ratio: a few percent under the interpreter constant, and flat.
+    comp_ratios = [row.comp_ratio for row in rows]
+    assert all(ratio < 0.15 for ratio in comp_ratios)
+    assert max(comp_ratios) < 3 * max(min(comp_ratios), 1e-9)
+
+
+def test_exact_comm_ratio_at_paper_sizes():
+    for n in (1000, 10_000, 100_000, 1_000_000):
+        ratio = exact_comm_ratio(n)
+        assert 0.005 < ratio < 0.02
+
+
+@pytest.mark.benchmark(group="table3")
+def test_whole_file_key_derivation(benchmark, table3):
+    """The numerator of the computation ratio: derive all data keys."""
+    handle, _ids = build_dense_file(2000, 64, seed="t3-bench")
+    client = handle.scheme.client
+    master_key = handle.scheme._key()
+    reply = client.channel.request(msg.FetchFileRequest(file_id=handle.file_id))
+    assert isinstance(reply, msg.FetchFileReply)
+
+    benchmark(lambda: client._derive_outputs(master_key, reply.n_leaves,
+                                             reply.links, reply.leaves))

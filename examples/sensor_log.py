@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Deleting an erroneous entry from an outsourced sensor log -- over an
+unreliable network.
+
+The paper's introduction motivates fine-grained deletion with "an
+erroneous entry of a sensor data file".  This example outsources a
+sensor log, deletes one bad reading, and then repeats the exercise with
+the acknowledgement *lost in transit*: the client's deletion journal and
+the server's replay cache finalise the deletion exactly once, and only
+then is the old master key shredded (deletion time T).
+
+Run:  python examples/sensor_log.py
+"""
+
+from repro.client.client import AssuredDeletionClient
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol.faults import (DROP_RESPONSE, NONE, ChannelError,
+                                   FaultInjectingChannel)
+from repro.server.server import CloudServer
+from repro.sim.threat import Adversary, snapshot_file
+
+
+def make_log(rng, count=20):
+    readings = []
+    for i in range(count):
+        temperature = 18.0 + rng.below(100) / 10
+        readings.append(b"2026-07-04T%02d:00Z sensor-7 temp=%.1fC" %
+                        (i % 24, temperature))
+    # One corrupted reading (the one we will need to assuredly delete --
+    # say it embeds another tenant's data after a buffer bug).
+    readings[13] = b"2026-07-04T13:00Z sensor-7 temp=ERR LEAKED:cc=4111-1111"
+    return readings
+
+
+def main() -> None:
+    rng = DeterministicRandom("sensor-example")
+    server = CloudServer()
+    channel = FaultInjectingChannel(server, iter([]))
+    client = AssuredDeletionClient(channel, rng=rng.fork("client"))
+
+    print("== outsourcing 20 sensor readings ==")
+    readings = make_log(rng.fork("log"))
+    key = client.outsource(1, readings)
+    ids = client.item_ids_of(20)
+    print("reading 13:", client.access(1, key, ids[13]).decode())
+
+    adversary = Adversary()
+    adversary.observe(snapshot_file(server, 1))
+
+    print("\n== attempt 1: the deletion ACK is lost ==")
+    channel._schedule = iter([NONE, DROP_RESPONSE])
+    try:
+        client.delete(1, key, ids[13])
+    except ChannelError as exc:
+        print(f"network: {exc}")
+    print(f"pending deletions: {client.pending_deletes()}")
+    print("the old master key is still on the device -- deletion time T "
+          "has NOT happened yet")
+
+    print("\n== finalising through the journal ==")
+    channel._schedule = iter([])
+    key = client.resume_delete(1, ids[13])
+    print("server's replay cache answered the resent commit exactly once;")
+    print("old key shredded NOW -- this is T")
+    adversary.observe(snapshot_file(server, 1))
+
+    print("\n== verdict ==")
+    adversary.seize_keystore(client.keystore.seize())
+    print("adversary (full server history + seized device) recovers the "
+          f"leaked reading: {adversary.try_recover(ids[13])!r}")
+    print("neighbour reading still fine:",
+          client.access(1, key, ids[12]).decode())
+    print(f"total live readings: "
+          f"{len(client.fetch_file(1, key))} (one assuredly gone)")
+
+
+if __name__ == "__main__":
+    main()

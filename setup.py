@@ -1,0 +1,6 @@
+"""Setup shim: this environment lacks the `wheel` package required by
+PEP 660 editable installs, so `pip install -e .` falls back to the legacy
+setup.py path via this file. All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Two-party fine-grained assured deletion of outsourced data.
+
+A complete implementation of Mo, Qiao & Chen (ICDCS 2014): key-modulation
+trees for assured deletion without third parties, plus the substrates a
+deployment needs (crypto, protocol, server, client, file system) and the
+experiment harness reproducing the paper's evaluation.
+
+Typical entry points:
+
+* :class:`repro.core.LocalScheme` -- single-file client/server pair.
+* :class:`repro.fs.OutsourcedFileSystem` -- multi-file deployment with
+  outsourced master keys (Section V).
+* :mod:`repro.sim.threat` -- the executable threat model.
+* :mod:`repro.analysis` -- table/figure regeneration.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

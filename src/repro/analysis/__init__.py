@@ -1,0 +1,16 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+* :mod:`repro.analysis.complexity` -- Table I (scaling-law fits).
+* :mod:`repro.analysis.table2` -- Table II (deletion overhead at scale).
+* :mod:`repro.analysis.figures` -- Figures 5 and 6 (per-op sweeps).
+* :mod:`repro.analysis.table3` -- Table III (whole-file access ratios).
+* :mod:`repro.analysis.ablation` -- hash / store / two-level ablations.
+* :mod:`repro.analysis.run_all` -- one-shot regeneration of everything.
+"""
+
+from repro.analysis.config import full_scale
+from repro.analysis.harness import (SeededFile, build_dense_file,
+                                    build_seeded_file, measure_ops)
+
+__all__ = ["SeededFile", "build_dense_file", "build_seeded_file",
+           "full_scale", "measure_ops"]

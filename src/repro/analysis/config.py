@@ -1,0 +1,55 @@
+"""Scale knobs for the experiment harness.
+
+Defaults keep the whole benchmark suite runnable in minutes on a laptop;
+setting ``REPRO_FULL_SCALE=1`` reproduces the paper's exact scales
+(Table II at 10^5 items, Figures 5/6 up to 10^7 items) at the cost of a
+much longer run.  Every regenerated table records which scale produced it.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def full_scale() -> bool:
+    """Whether to run at the paper's exact scales."""
+    return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0", "false")
+
+
+def table2_item_count() -> int:
+    """Items in the Table II file (paper: 10^5)."""
+    return 100_000 if full_scale() else 10_000
+
+
+def table2_master_key_measured_count() -> int:
+    """Real items measured for the master-key row before linear scaling."""
+    return 10_000 if full_scale() else 500
+
+
+def figure_grid() -> list[int]:
+    """The n sweep of Figures 5 and 6 (paper: 10 .. 10^7)."""
+    top = 8 if full_scale() else 7
+    return [10 ** e for e in range(1, top)]
+
+
+def figure_samples(n: int) -> int:
+    """Per-operation samples at one grid point."""
+    if n >= 1_000_000:
+        return 10
+    if n >= 10_000:
+        return 20
+    return 30
+
+
+def table3_grid() -> list[int]:
+    """File sizes for Table III (paper: 10^3 .. 10^6)."""
+    return [1000, 10_000, 100_000, 1_000_000] if full_scale() else [1000, 4000]
+
+
+def complexity_grid() -> list[int]:
+    """Item counts for the Table I scaling fit.
+
+    Few, widely-spaced points: the fit discriminates log from linear best
+    when the grid spans two orders of magnitude.
+    """
+    return [64, 256, 1024, 4096]

@@ -1,0 +1,76 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints the same rows and series the paper reports;
+these helpers keep that output aligned and readable both in terminal
+capture files and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_bytes(count: float) -> str:
+    """Human-readable byte count (binary units, as the paper's MB reads)."""
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024 or unit == "TB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration spanning microseconds to minutes."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60:.1f} min"
+
+
+def format_count(value: float) -> str:
+    """Counts with thousands separators (e.g. item totals)."""
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:,.1f}"
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned ASCII table with a title line."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match headers")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(str(c).ljust(widths[i]) for i, c in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    body = [line(headers), separator]
+    body.extend(line(row) for row in rows)
+    return f"{title}\n" + "\n".join(body)
+
+
+def render_series(title: str, x_label: str, series: dict[str, dict[int, float]],
+                  value_format=format_bytes) -> str:
+    """Render one figure's data as a table: x values down, series across."""
+    xs = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row = [format_count(x)]
+        for name in series:
+            value = series[name].get(x)
+            row.append(value_format(value) if value is not None else "-")
+        rows.append(row)
+    return render_table(title, headers, rows)

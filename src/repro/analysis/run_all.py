@@ -1,0 +1,72 @@
+"""Regenerate every table and figure in one run.
+
+Usage::
+
+    python -m repro.analysis.run_all [output-path]
+
+Prints all regenerated tables/series and, when an output path is given,
+writes the same content there.  ``REPRO_FULL_SCALE=1`` switches to the
+paper's exact scales (slower).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis.ablation import (run_hash_ablation, run_store_ablation,
+                                     run_two_level_ablation)
+from repro.analysis.complexity import run_table1
+from repro.analysis.config import figure_grid, full_scale, table2_item_count
+from repro.analysis.figures import render_figure5, render_figure6, run_sweep
+from repro.analysis.table2 import run_table2
+from repro.analysis.table3 import run_table3
+
+
+def generate_report() -> str:
+    """Run every experiment and return the full text report."""
+    sections = []
+    scale_note = ("paper scale (REPRO_FULL_SCALE=1)" if full_scale()
+                  else "reduced scale (set REPRO_FULL_SCALE=1 for paper scale)")
+    sections.append(f"# Regenerated evaluation -- {scale_note}\n")
+
+    start = time.perf_counter()
+    table1, _fits = run_table1()
+    sections.append(table1)
+
+    table2, _rows2 = run_table2()
+    sections.append(table2)
+
+    sweep = run_sweep()
+    sections.append(render_figure5(sweep))
+    sections.append(render_figure6(sweep))
+
+    table3, _rows3 = run_table3()
+    sections.append(table3)
+
+    hash_table, _ = run_hash_ablation()
+    sections.append(hash_table)
+    store_table, _ = run_store_ablation()
+    sections.append(store_table)
+    two_level_table, _ = run_two_level_ablation()
+    sections.append(two_level_table)
+
+    elapsed = time.perf_counter() - start
+    sections.append(f"(regenerated in {elapsed:.1f} s; "
+                    f"figure grid up to n={max(figure_grid()):,}, "
+                    f"Table II at n={table2_item_count():,})")
+    return "\n\n".join(sections) + "\n"
+
+
+def main(argv: list[str]) -> int:
+    report = generate_report()
+    print(report)
+    if len(argv) > 1:
+        with open(argv[1], "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"written to {argv[1]}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

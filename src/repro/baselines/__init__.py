@@ -1,0 +1,21 @@
+"""The compared solutions: Section III strawmen, a FADE-style third-party
+baseline, and an adapter driving the paper's scheme through the same
+interface."""
+
+from repro.baselines.base import BlobStoreServer, DeletionScheme
+from repro.baselines.ephemerizer import (Ephemerizer, PolicyClient,
+                                         PolicyCloud)
+from repro.baselines.individual_key import IndividualKeySolution
+from repro.baselines.keymod import KeyModulationScheme
+from repro.baselines.master_key import MasterKeySolution
+
+__all__ = [
+    "BlobStoreServer",
+    "DeletionScheme",
+    "Ephemerizer",
+    "IndividualKeySolution",
+    "KeyModulationScheme",
+    "MasterKeySolution",
+    "PolicyClient",
+    "PolicyCloud",
+]

@@ -1,0 +1,136 @@
+"""Common scaffolding for the three compared solutions.
+
+:class:`DeletionScheme` is the uniform interface Tables I and II drive:
+outsource a file, then access / insert / delete individual items, with
+the metrics collector recording exact bytes and client time for each
+operation, and :meth:`client_storage_bytes` reporting the key material
+the client must hold (Table II row 1).
+
+:class:`BlobStoreServer` is the dumb encrypted-blob cloud the Section III
+baselines run against.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from repro.baselines import messages as bmsg
+from repro.core.errors import UnknownItemError
+from repro.core.params import Params
+from repro.protocol import messages as msg
+from repro.protocol.channel import Channel
+from repro.protocol.wire import WireContext
+from repro.sim.metrics import MetricsCollector, OpRecord
+
+
+class BlobStoreServer:
+    """Flat ciphertext store keyed by (file id, item id)."""
+
+    def __init__(self, params: Params | None = None) -> None:
+        self.params = params if params is not None else Params()
+        self.ctx = WireContext(modulator_width=self.params.modulator_size)
+        self._files: dict[int, dict[int, bytes]] = {}
+
+    def handle_bytes(self, data: bytes) -> bytes:
+        request = msg.decode_message(self.ctx, data)
+        reply = self.handle(request)
+        return msg.encode_message(self.ctx, reply)
+
+    def handle(self, request: msg.Message) -> msg.Message:
+        if isinstance(request, bmsg.BlobUploadAll):
+            self._files[request.file_id] = dict(zip(request.item_ids,
+                                                    request.ciphertexts))
+            return msg.Ack()
+        if isinstance(request, bmsg.BlobGet):
+            ciphertext = self._files.get(request.file_id, {}).get(request.item_id)
+            if ciphertext is None:
+                return msg.ErrorReply(code=msg.E_UNKNOWN_ITEM,
+                                      detail=f"no item {request.item_id}")
+            return bmsg.BlobReply(ciphertext=ciphertext)
+        if isinstance(request, bmsg.BlobGetAll):
+            items = self._files.get(request.file_id)
+            if items is None:
+                return msg.ErrorReply(code=msg.E_UNKNOWN_FILE,
+                                      detail=f"no file {request.file_id}")
+            ids = tuple(sorted(items))
+            return bmsg.BlobAllReply(item_ids=ids,
+                                     ciphertexts=tuple(items[i] for i in ids))
+        if isinstance(request, bmsg.BlobPut):
+            self._files.setdefault(request.file_id, {})[request.item_id] = \
+                request.ciphertext
+            return msg.Ack()
+        if isinstance(request, bmsg.BlobDelete):
+            self._files.get(request.file_id, {}).pop(request.item_id, None)
+            return msg.Ack()
+        return msg.ErrorReply(code=msg.E_BAD_REQUEST,
+                              detail=f"unsupported {type(request).__name__}")
+
+    def stored_items(self, file_id: int) -> dict[int, bytes]:
+        """Direct state access for the threat-model simulator."""
+        return dict(self._files.get(file_id, {}))
+
+
+class DeletionScheme(abc.ABC):
+    """Uniform driver interface for the three compared solutions."""
+
+    #: Human-readable solution name, as used in the paper's tables.
+    name: str = "abstract"
+
+    def __init__(self, channel: Channel,
+                 metrics: MetricsCollector | None = None) -> None:
+        self.channel = channel
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+
+    # -- measurement helpers ------------------------------------------------
+
+    def _begin(self) -> tuple:
+        return self.channel.counters.snapshot(), time.perf_counter()
+
+    def _finish(self, op: str, begin: tuple) -> OpRecord:
+        counters0, t0 = begin
+        wall = time.perf_counter() - t0
+        delta = self.channel.counters.delta(counters0)
+        record = OpRecord(
+            op=op,
+            bytes_sent=delta.bytes_sent,
+            bytes_received=delta.bytes_received,
+            payload_sent=delta.payload_sent,
+            payload_received=delta.payload_received,
+            client_seconds=max(0.0, wall - delta.server_seconds),
+            round_trips=delta.round_trips,
+        )
+        self.metrics.add(record)
+        return record
+
+    @staticmethod
+    def _expect(response: msg.Message, expected_type: type) -> msg.Message:
+        if isinstance(response, msg.ErrorReply):
+            raise UnknownItemError(response.detail)
+        if not isinstance(response, expected_type):
+            raise UnknownItemError(
+                f"expected {expected_type.__name__}, got "
+                f"{type(response).__name__}")
+        return response
+
+    # -- the interface the experiment harness drives ------------------------
+
+    @abc.abstractmethod
+    def outsource(self, items: list[bytes]) -> list[int]:
+        """Upload ``items``; returns their ids."""
+
+    @abc.abstractmethod
+    def access(self, item_id: int) -> bytes:
+        """Fetch and decrypt one item."""
+
+    @abc.abstractmethod
+    def insert(self, data: bytes) -> int:
+        """Add one item; returns its id."""
+
+    @abc.abstractmethod
+    def delete(self, item_id: int) -> None:
+        """Assuredly delete one item."""
+
+    @abc.abstractmethod
+    def client_storage_bytes(self) -> int:
+        """Bytes of key material the client must hold."""

@@ -1,0 +1,173 @@
+"""A FADE-style third-party policy-deletion baseline (Section VII).
+
+Tang et al.'s FADE associates each *policy* with a control key kept by a
+third party (an ephemerizer).  Files are encrypted under per-file data
+keys; each data key is wrapped under its policy's control key and stored,
+wrapped, next to the ciphertext.  Deleting a policy means asking the
+third party to shred the control key, killing every file under it.
+
+This baseline exists to demonstrate, executably, the two arguments the
+paper's introduction makes against the third-party approach:
+
+1. **Trust**: an attacker (or subpoena) reaching the third party obtains
+   the control keys, and "deleted" data revives -- see
+   :meth:`Ephemerizer.compromise` and the security tests.
+2. **Granularity**: deleting one *item* of one file under a policy is not
+   supported; the client must fall back to re-encrypting everything else
+   under a fresh policy, i.e. the master-key solution's ``O(n)`` cost --
+   see :meth:`PolicyClient.delete_item_via_repolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.client.keystore import KeyStore
+from repro.core.ciphertext import ItemCodec
+from repro.core.errors import UnknownItemError
+from repro.core.params import Params
+from repro.crypto.modes import aes_ctr
+from repro.crypto.rng import RandomSource, SystemRandom
+
+
+class Ephemerizer:
+    """The third party: holds policy control keys, wraps/unwraps data keys."""
+
+    def __init__(self, rng: RandomSource | None = None) -> None:
+        self._rng = rng if rng is not None else SystemRandom()
+        self._policies = KeyStore()
+
+    def create_policy(self, policy: str) -> None:
+        self._policies.put(f"policy:{policy}", self._rng.bytes(16))
+
+    def wrap(self, policy: str, data_key: bytes) -> bytes:
+        """Encrypt a data key under the policy control key."""
+        control = self._policies.get(f"policy:{policy}")
+        nonce = self._rng.bytes(8)
+        return nonce + aes_ctr(control, nonce, data_key)
+
+    def unwrap(self, policy: str, wrapped: bytes) -> bytes:
+        """Decrypt a wrapped data key -- needed for *every* data access."""
+        control = self._policies.get(f"policy:{policy}")
+        return aes_ctr(control, wrapped[:8], wrapped[8:])
+
+    def revoke_policy(self, policy: str) -> None:
+        """Shred a policy's control key: every file under it goes dark."""
+        self._policies.shred(f"policy:{policy}")
+
+    def compromise(self) -> dict[str, bytes]:
+        """Threat-model hook: what an attacker at the third party learns."""
+        return self._policies.seize()
+
+
+@dataclass
+class _StoredFile:
+    policy: str
+    wrapped_key: bytes
+    ciphertexts: dict[int, bytes]
+
+
+class PolicyCloud:
+    """The cloud store of the FADE-style deployment (untrusted)."""
+
+    def __init__(self) -> None:
+        self._files: dict[int, _StoredFile] = {}
+
+    def put_file(self, file_id: int, policy: str, wrapped_key: bytes,
+                 ciphertexts: dict[int, bytes]) -> None:
+        self._files[file_id] = _StoredFile(policy=policy,
+                                           wrapped_key=wrapped_key,
+                                           ciphertexts=dict(ciphertexts))
+
+    def get_file(self, file_id: int) -> _StoredFile:
+        stored = self._files.get(file_id)
+        if stored is None:
+            raise UnknownItemError(f"no file {file_id}")
+        return stored
+
+    def snapshot(self) -> dict[int, _StoredFile]:
+        """Threat-model hook: the server keeps everything it ever saw."""
+        return {fid: _StoredFile(f.policy, f.wrapped_key, dict(f.ciphertexts))
+                for fid, f in self._files.items()}
+
+
+class PolicyClient:
+    """Client of the FADE-style deployment."""
+
+    def __init__(self, ephemerizer: Ephemerizer, cloud: PolicyCloud,
+                 params: Params | None = None,
+                 rng: RandomSource | None = None) -> None:
+        self.params = params if params is not None else Params()
+        self.codec = ItemCodec(self.params)
+        self._ephemerizer = ephemerizer
+        self._cloud = cloud
+        self._rng = rng if rng is not None else SystemRandom()
+        self._next_item = 1
+
+    def _chain_output(self, data_key: bytes) -> bytes:
+        return data_key.ljust(self.params.chain_hash().digest_size, b"\x00")
+
+    def outsource(self, file_id: int, policy: str,
+                  items: list[bytes]) -> list[int]:
+        """Encrypt a file under a fresh data key wrapped by ``policy``."""
+        data_key = self._rng.bytes(16)
+        wrapped = self._ephemerizer.wrap(policy, data_key)
+        ciphertexts = {}
+        item_ids = []
+        for data in items:
+            item_id = self._next_item
+            self._next_item += 1
+            item_ids.append(item_id)
+            ciphertexts[item_id] = self.codec.encrypt(
+                self._chain_output(data_key), data, item_id,
+                self._rng.bytes(8))
+        self._cloud.put_file(file_id, policy, wrapped, ciphertexts)
+        return item_ids
+
+    def access(self, file_id: int, item_id: int) -> bytes:
+        """Every access needs the third party online to unwrap the key."""
+        stored = self._cloud.get_file(file_id)
+        ciphertext = stored.ciphertexts.get(item_id)
+        if ciphertext is None:
+            raise UnknownItemError(f"no item {item_id}")
+        data_key = self._ephemerizer.unwrap(stored.policy, stored.wrapped_key)
+        data, recovered = self.codec.decrypt(self._chain_output(data_key),
+                                             ciphertext)
+        if recovered != item_id:
+            raise UnknownItemError("cloud returned the wrong item")
+        return data
+
+    def delete_policy(self, policy: str) -> None:
+        """Policy-grained deletion: everything under ``policy`` dies."""
+        self._ephemerizer.revoke_policy(policy)
+
+    def delete_item_via_repolicy(self, file_id: int, item_id: int,
+                                 new_policy: str) -> None:
+        """Fine-grained deletion forced through the policy mechanism.
+
+        The only way to kill one item is to re-encrypt every *other* item
+        under a fresh data key/policy and revoke the old policy -- the
+        ``O(n)`` cost the paper predicts when third-party schemes are bent
+        to fine-grained deletion.
+        """
+        stored = self._cloud.get_file(file_id)
+        old_key = self._ephemerizer.unwrap(stored.policy, stored.wrapped_key)
+        survivors = []
+        for other_id, ciphertext in sorted(stored.ciphertexts.items()):
+            if other_id == item_id:
+                continue
+            data, _rid = self.codec.decrypt(self._chain_output(old_key),
+                                            ciphertext)
+            survivors.append((other_id, data))
+
+        old_policy = stored.policy
+        new_key = self._rng.bytes(16)
+        self._ephemerizer.create_policy(new_policy)
+        wrapped = self._ephemerizer.wrap(new_policy, new_key)
+        new_ciphertexts = {
+            other_id: self.codec.encrypt(self._chain_output(new_key), data,
+                                         other_id, self._rng.bytes(8))
+            for other_id, data in survivors
+        }
+        self._cloud.put_file(file_id, new_policy, wrapped, new_ciphertexts)
+        self._ephemerizer.revoke_policy(old_policy)

@@ -1,0 +1,66 @@
+"""Adapter presenting the paper's scheme through the baseline interface.
+
+Lets the experiment harness drive "our work" with exactly the same calls
+(and metering) as the Section III baselines, so every number in Tables
+I/II comes from the same code path.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import DeletionScheme
+from repro.client.client import AssuredDeletionClient
+from repro.core.params import Params
+from repro.crypto.rng import RandomSource, SystemRandom
+from repro.protocol.channel import Channel
+from repro.sim.metrics import MetricsCollector
+
+
+class KeyModulationScheme(DeletionScheme):
+    """The paper's two-party fine-grained solution, single-file form."""
+
+    name = "our-work"
+
+    def __init__(self, channel: Channel, params: Params | None = None,
+                 rng: RandomSource | None = None,
+                 metrics: MetricsCollector | None = None,
+                 file_id: int = 1) -> None:
+        super().__init__(channel, metrics)
+        self.params = params if params is not None else Params()
+        # The inner client shares our metrics collector, so its records
+        # (which carry exact hash counts) are the ones reported.
+        self._client = AssuredDeletionClient(
+            channel, self.params,
+            rng=rng if rng is not None else SystemRandom(),
+            metrics=self.metrics)
+        self.file_id = file_id
+        self._master_key: bytes | None = None
+
+    @property
+    def client(self) -> AssuredDeletionClient:
+        return self._client
+
+    def outsource(self, items: list[bytes]) -> list[int]:
+        self._master_key = self._client.outsource(self.file_id, items)
+        return self._client.item_ids_of(len(items))
+
+    def adopt_master_key(self, master_key: bytes) -> None:
+        """Bind to a pre-built server file (benchmark-scale setups)."""
+        self._master_key = master_key
+
+    def _key(self) -> bytes:
+        if self._master_key is None:
+            raise RuntimeError("outsource a file first")
+        return self._master_key
+
+    def access(self, item_id: int) -> bytes:
+        return self._client.access(self.file_id, self._key(), item_id)
+
+    def insert(self, data: bytes) -> int:
+        return self._client.insert(self.file_id, self._key(), data)
+
+    def delete(self, item_id: int) -> None:
+        self._master_key = self._client.delete(self.file_id, self._key(),
+                                               item_id)
+
+    def client_storage_bytes(self) -> int:
+        return len(self._key())

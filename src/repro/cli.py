@@ -1,0 +1,239 @@
+"""Command-line interface: an assured-deletion vault backed by one server.
+
+A small but complete front end over the library, for exploring the system
+from a shell.  State is kept in two places, mirroring the two parties:
+
+* the *server directory* (``--server-dir``) holds everything the cloud
+  would hold -- ciphertexts and the modulation trees, in plaintext files;
+* the *client file* (``--client-file``) holds what the client device
+  would hold -- the control keys and the item counter.
+
+Commands::
+
+    repro-vault init
+    repro-vault put  <name> < plaintext     # create/replace a file (one record per line)
+    repro-vault ls
+    repro-vault cat  <name>
+    repro-vault get  <name> <position>
+    repro-vault set  <name> <position> <value>
+    repro-vault add  <name> <value>
+    repro-vault rm   <name> <position>      # assured record deletion
+    repro-vault drop <name>                 # assured whole-file deletion
+    repro-vault serve --port 9000           # expose the vault over TCP
+    repro-vault stats
+
+Run it as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import sys
+
+from repro.core.errors import ReproError
+from repro.crypto.rng import SystemRandom
+from repro.fs.filesystem import OutsourcedFileSystem
+
+
+class Vault:
+    """Durable wrapper around an :class:`OutsourcedFileSystem`.
+
+    Durability is implemented by pickling both sides' state; a production
+    deployment would persist the server state server-side, but for a CLI
+    the single-process snapshot keeps the tool dependency-free while
+    still exercising every protocol path on each command.
+    """
+
+    def __init__(self, server_dir: str, client_file: str) -> None:
+        self.server_dir = server_dir
+        self.client_file = client_file
+        self._state_path = os.path.join(server_dir, "vault.state")
+        self.fs: OutsourcedFileSystem | None = None
+
+    def create(self) -> None:
+        os.makedirs(self.server_dir, exist_ok=True)
+        self.fs = OutsourcedFileSystem(rng=SystemRandom())
+        self.save()
+
+    def load(self) -> None:
+        if not os.path.exists(self._state_path):
+            raise ReproError(
+                f"no vault at {self.server_dir!r}; run 'init' first")
+        with open(self._state_path, "rb") as handle:
+            self.fs = pickle.load(handle)
+
+    def save(self) -> None:
+        with open(self._state_path, "wb") as handle:
+            pickle.dump(self.fs, handle)
+
+
+def _print(value: str) -> None:
+    sys.stdout.write(value + "\n")
+
+
+def cmd_init(vault: Vault, _args) -> int:
+    vault.create()
+    _print(f"initialised empty vault in {vault.server_dir}")
+    return 0
+
+
+def cmd_put(vault: Vault, args) -> int:
+    vault.load()
+    records = [line.encode() for line in sys.stdin.read().splitlines()]
+    if vault.fs.exists(args.name):
+        vault.fs.delete_file(args.name)
+    vault.fs.create_file(args.name, records)
+    vault.save()
+    _print(f"stored {args.name!r}: {len(records)} records")
+    return 0
+
+
+def cmd_ls(vault: Vault, _args) -> int:
+    vault.load()
+    for name in vault.fs.list_files():
+        handle = vault.fs.open(name)
+        _print(f"{name}\t{handle.record_count} records\t"
+               f"{handle.size_bytes} bytes")
+    return 0
+
+
+def cmd_cat(vault: Vault, args) -> int:
+    vault.load()
+    for record in vault.fs.open(args.name).read_all():
+        _print(record.decode(errors="replace"))
+    return 0
+
+
+def cmd_get(vault: Vault, args) -> int:
+    vault.load()
+    _print(vault.fs.open(args.name).read_record(args.position)
+           .decode(errors="replace"))
+    return 0
+
+
+def cmd_set(vault: Vault, args) -> int:
+    vault.load()
+    vault.fs.open(args.name).write_record(args.position, args.value.encode())
+    vault.save()
+    _print(f"updated {args.name!r}[{args.position}]")
+    return 0
+
+
+def cmd_add(vault: Vault, args) -> int:
+    vault.load()
+    vault.fs.open(args.name).append_record(args.value.encode())
+    vault.save()
+    _print(f"appended to {args.name!r}")
+    return 0
+
+
+def cmd_rm(vault: Vault, args) -> int:
+    vault.load()
+    vault.fs.open(args.name).delete_record(args.position)
+    vault.save()
+    _print(f"assuredly deleted {args.name!r}[{args.position}] "
+           f"(master + control keys rotated)")
+    return 0
+
+
+def cmd_drop(vault: Vault, args) -> int:
+    vault.load()
+    vault.fs.delete_file(args.name)
+    vault.save()
+    _print(f"assuredly deleted file {args.name!r}")
+    return 0
+
+
+def cmd_stats(vault: Vault, _args) -> int:
+    vault.load()
+    fs = vault.fs
+    stats = {
+        "files": len(fs.list_files()),
+        "records": sum(fs.open(n).record_count for n in fs.list_files()),
+        "control_keys": fs.control_key_count(),
+        "client_key_bytes": fs.client_key_bytes(),
+    }
+    _print(json.dumps(stats, indent=2))
+    return 0
+
+
+def cmd_serve(vault: Vault, args) -> int:
+    vault.load()
+    if vault.fs.server is None:
+        raise ReproError("this vault was created against an external server")
+    from repro.protocol.tcp import TcpServerHost
+    with TcpServerHost(vault.fs.server, port=args.port) as host:
+        _print(f"serving vault on {host.address[0]}:{host.address[1]} "
+               f"(ctrl-C to stop)")
+        try:
+            import threading
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            return 0
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-vault",
+        description="Assured-deletion vault (ICDCS'14 key modulation)")
+    parser.add_argument("--server-dir", default=".repro-vault",
+                        help="directory holding the 'cloud' state")
+    parser.add_argument("--client-file", default=".repro-keys",
+                        help="file holding the client's keys (unused "
+                             "placeholder in the single-process CLI)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("init").set_defaults(func=cmd_init)
+    put = sub.add_parser("put")
+    put.add_argument("name")
+    put.set_defaults(func=cmd_put)
+    sub.add_parser("ls").set_defaults(func=cmd_ls)
+    cat = sub.add_parser("cat")
+    cat.add_argument("name")
+    cat.set_defaults(func=cmd_cat)
+    get = sub.add_parser("get")
+    get.add_argument("name")
+    get.add_argument("position", type=int)
+    get.set_defaults(func=cmd_get)
+    set_ = sub.add_parser("set")
+    set_.add_argument("name")
+    set_.add_argument("position", type=int)
+    set_.add_argument("value")
+    set_.set_defaults(func=cmd_set)
+    add = sub.add_parser("add")
+    add.add_argument("name")
+    add.add_argument("value")
+    add.set_defaults(func=cmd_add)
+    rm = sub.add_parser("rm")
+    rm.add_argument("name")
+    rm.add_argument("position", type=int)
+    rm.set_defaults(func=cmd_rm)
+    drop = sub.add_parser("drop")
+    drop.add_argument("name")
+    drop.set_defaults(func=cmd_drop)
+    sub.add_parser("stats").set_defaults(func=cmd_stats)
+    serve = sub.add_parser("serve")
+    serve.add_argument("--port", type=int, default=0)
+    serve.set_defaults(func=cmd_serve)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    vault = Vault(args.server_dir, args.client_file)
+    try:
+        return args.func(vault, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (KeyError, IndexError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Client side: key custody and the assured-deletion protocol driver."""
+
+from repro.client.client import AssuredDeletionClient
+from repro.client.keystore import KeyStore
+
+__all__ = ["AssuredDeletionClient", "KeyStore"]

@@ -1,0 +1,96 @@
+"""Local key custody with explicit shredding.
+
+The client's entire secret state is what lives here: master keys (one per
+file, or just control keys once master keys are outsourced through the
+meta modulation tree) plus the global insertion counter that generates
+the unique ``r`` values.  The threat model lets an attacker seize the
+device *after* deletion time ``T``; :meth:`KeyStore.seize` returns exactly
+what such an attacker would learn, and the security test suite feeds it
+to the recovery procedures to prove deleted data stays dead.
+
+Keys are held in ``bytearray`` so :meth:`shred` can overwrite them in
+place before dropping the reference.  (Python offers no guarantees about
+copies made by the garbage collector or interned immutables -- a real
+deployment would keep keys in locked, wipeable memory; the in-place
+overwrite models the paper's "permanently delete" operation and makes the
+seizure semantics exact for the simulator.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.errors import KeyShreddedError
+
+
+class KeyStore:
+    """Named key slots plus the global unique-item counter."""
+
+    def __init__(self, first_item_id: int = 1) -> None:
+        self._keys: dict[str, bytearray] = {}
+        self._shredded: set[str] = set()
+        self._next_item_id = first_item_id
+
+    # ------------------------------------------------------------------
+    # Key slots
+    # ------------------------------------------------------------------
+
+    def put(self, name: str, key: bytes) -> None:
+        """Store (or replace) key material under ``name``."""
+        existing = self._keys.get(name)
+        if existing is not None:
+            existing[:] = b"\x00" * len(existing)
+        self._keys[name] = bytearray(key)
+        self._shredded.discard(name)
+
+    def get(self, name: str) -> bytes:
+        """Return the key stored under ``name``."""
+        if name in self._shredded:
+            raise KeyShreddedError(f"key {name!r} has been securely deleted")
+        key = self._keys.get(name)
+        if key is None:
+            raise KeyError(f"no key stored under {name!r}")
+        return bytes(key)
+
+    def has(self, name: str) -> bool:
+        return name in self._keys
+
+    def shred(self, name: str) -> None:
+        """Overwrite and permanently delete the key under ``name``.
+
+        Idempotent; shredding an absent key records the name as shredded
+        so later :meth:`get` calls fail loudly rather than silently.
+        """
+        key = self._keys.pop(name, None)
+        if key is not None:
+            key[:] = b"\x00" * len(key)
+        self._shredded.add(name)
+
+    def names(self) -> Iterator[str]:
+        return iter(self._keys)
+
+    def key_bytes_stored(self) -> int:
+        """Total bytes of key material held -- Table II's client storage."""
+        return sum(len(key) for key in self._keys.values())
+
+    # ------------------------------------------------------------------
+    # Global unique counter (the ``r`` of Section IV-B)
+    # ------------------------------------------------------------------
+
+    def next_item_id(self) -> int:
+        """Return a fresh globally-unique item id."""
+        item_id = self._next_item_id
+        self._next_item_id += 1
+        return item_id
+
+    @property
+    def counter(self) -> int:
+        return self._next_item_id
+
+    # ------------------------------------------------------------------
+    # Threat-model hook
+    # ------------------------------------------------------------------
+
+    def seize(self) -> dict[str, bytes]:
+        """What an attacker compromising the device right now obtains."""
+        return {name: bytes(key) for name, key in self._keys.items()}

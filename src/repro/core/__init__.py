@@ -1,0 +1,65 @@
+"""The paper's primary contribution: key modulation.
+
+* :mod:`repro.core.modulated_chain` -- the modulated hash chain ``F(K, M)``
+  and Lemma 1's single-modulator rewrite.
+* :mod:`repro.core.tree` -- the modulation tree (complete binary tree of
+  link and leaf modulators) with its views and structural transactions.
+* :mod:`repro.core.ops` -- the client-side computations: deletion deltas
+  (Eq. 5), balancing reassignments (Eqs. 8-9), insertion splits, whole-file
+  key derivation, and the client's refusal rules.
+* :mod:`repro.core.ciphertext` -- the ``{m || r, H(m || r)}_k`` item codec.
+* :mod:`repro.core.meta` -- the two-level meta modulation tree (Section V).
+* :mod:`repro.core.scheme` -- a one-call local client/server façade.
+"""
+
+from repro.core.ciphertext import ItemCodec
+from repro.core.errors import (DuplicateModulatorError, IntegrityError,
+                               KeyShreddedError, ProtocolError, ReproError,
+                               StaleStateError, StructureError,
+                               UnknownItemError)
+from repro.core.modulated_chain import (ChainEngine, releaf_modulator,
+                                        rewrite_delta, rewrite_modulator,
+                                        xor_bytes)
+from repro.core.modstore import (DenseModulatorStore, LazySeededStore,
+                                 ModulatorStore)
+from repro.core.params import PAPER_PARAMS, SHA256_PARAMS, Params
+from repro.core.tree import (BalanceView, CutEntry, MTView, ModulationTree,
+                             PathView)
+
+
+def __getattr__(name: str):
+    # LocalScheme wires the client and server packages together, which both
+    # import repro.core; importing it lazily keeps the package acyclic.
+    if name == "LocalScheme":
+        from repro.core.scheme import LocalScheme
+        return LocalScheme
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BalanceView",
+    "ChainEngine",
+    "CutEntry",
+    "DenseModulatorStore",
+    "DuplicateModulatorError",
+    "IntegrityError",
+    "ItemCodec",
+    "KeyShreddedError",
+    "LazySeededStore",
+    "LocalScheme",
+    "MTView",
+    "ModulationTree",
+    "ModulatorStore",
+    "PAPER_PARAMS",
+    "Params",
+    "PathView",
+    "ProtocolError",
+    "ReproError",
+    "SHA256_PARAMS",
+    "StaleStateError",
+    "StructureError",
+    "UnknownItemError",
+    "releaf_modulator",
+    "rewrite_delta",
+    "rewrite_modulator",
+    "xor_bytes",
+]

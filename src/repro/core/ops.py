@@ -1,0 +1,275 @@
+"""Client-side computations of the key modulation protocol.
+
+Everything in this module runs on the *client*: it holds the master key,
+so it is the only party able to evaluate the chain.  The functions are
+pure -- they take views received from the server plus key material and
+return the values to send back -- which is what makes them directly
+testable against the paper's Theorems 1 and 2.
+
+* :func:`verify_distinct_modulators` -- the client's refusal rule ("the
+  client expects all modulators in MT(k) to have different values").
+* :func:`verify_mt_structure` -- shape check that the claimed path and cut
+  really form a root-to-leaf path with its (n-1)-cut.
+* :func:`compute_deltas` -- the ``delta(c)`` values of Eq. 5.
+* :func:`compute_balance_values` -- Eqs. 8 and 9 evaluated against the
+  post-delta tree under the new master key (the two formulations agree;
+  see DESIGN.md section 3, ablation 4 discussion).
+* :func:`compute_insertion` -- the Section IV-E leaf split.
+* :func:`derive_all_keys` -- whole-file key derivation with shared
+  prefixes (Table III's computation-overhead numerator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.errors import DuplicateModulatorError, StructureError
+from repro.core.modulated_chain import ChainEngine, releaf_modulator, xor_bytes
+from repro.core.tree import BalanceView, MTView, PathView
+from repro.crypto.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class DeletionCommit:
+    """Client -> server payload completing a deletion."""
+
+    cut_slots: tuple[int, ...]
+    deltas: tuple[bytes, ...]
+    x_s_prime: Optional[bytes]
+    dest_link: Optional[bytes]
+    dest_leaf: Optional[bytes]
+
+
+@dataclass(frozen=True)
+class InsertionCommit:
+    """Client -> server payload completing an insertion.
+
+    ``chain_output`` (the new item's full chain value) stays on the client;
+    only the modulators travel.
+    """
+
+    t_new_link: Optional[bytes]
+    t_new_leaf: Optional[bytes]
+    e_link: Optional[bytes]
+    e_leaf: bytes
+    chain_output: bytes
+
+
+def verify_distinct_modulators(modulators: Sequence[bytes]) -> None:
+    """Reject any repeated modulator value (Theorem 2, case ii defence)."""
+    if len(set(modulators)) != len(modulators):
+        raise DuplicateModulatorError(
+            "received subtree contains duplicate modulators; refusing to "
+            "operate on it")
+
+
+def verify_path_structure(view: PathView) -> None:
+    """Check that the slots really form a root-to-leaf heap path."""
+    slots = view.path_slots
+    if not slots or slots[0] != 1:
+        raise StructureError("path must start at the root slot")
+    for parent, child in zip(slots, slots[1:]):
+        if child not in (2 * parent, 2 * parent + 1):
+            raise StructureError(f"slot {child} is not a child of {parent}")
+    if len(view.path_links) != len(slots) - 1:
+        raise StructureError("one link modulator per non-root path slot required")
+
+
+def verify_mt_structure(view: MTView) -> None:
+    """Check path shape and that each cut entry is the matching sibling."""
+    verify_path_structure(PathView(view.path_slots, view.path_links,
+                                   view.leaf_mod))
+    if len(view.cut) != len(view.path_slots) - 1:
+        raise StructureError("one cut node per non-root path slot required")
+    for path_slot, entry in zip(view.path_slots[1:], view.cut):
+        if entry.slot != (path_slot ^ 1):
+            raise StructureError(
+                f"cut slot {entry.slot} is not the sibling of {path_slot}")
+        if entry.is_leaf and entry.leaf_mod is None:
+            raise StructureError("leaf cut entries must carry a leaf modulator")
+
+
+def chain_output_for_path(engine: ChainEngine, master_key: bytes,
+                          view: PathView) -> bytes:
+    """Evaluate ``F(K, M_k)`` for a received path."""
+    return engine.evaluate(master_key, view.modulator_list())
+
+
+def compute_deltas(engine: ChainEngine, old_key: bytes, new_key: bytes,
+                   mt: MTView) -> tuple[tuple[int, ...], tuple[bytes, ...]]:
+    """Compute ``delta(c) = F(K, M_c) xor F(K', M_c)`` for the whole cut.
+
+    Shares one prefix sweep along ``P(k)`` for each key, so the entire cut
+    costs ``O(log n)`` hashes exactly as Section IV-C argues.
+    """
+    old_prefixes = engine.prefix_values(old_key, mt.path_links)
+    new_prefixes = engine.prefix_values(new_key, mt.path_links)
+    cut_slots = []
+    deltas = []
+    for depth, entry in enumerate(mt.cut):
+        # The cut node at this depth shares the first ``depth`` path links,
+        # then diverges through its own incoming link modulator.
+        old_value = engine.step(old_prefixes[depth], entry.link_mod)
+        new_value = engine.step(new_prefixes[depth], entry.link_mod)
+        cut_slots.append(entry.slot)
+        deltas.append(xor_bytes(old_value, new_value))
+    return tuple(cut_slots), tuple(deltas)
+
+
+def _post_delta(value: bytes, slot: int, kind: str,
+                delta_by_cut_slot: dict[int, bytes]) -> bytes:
+    """Value of a modulator after the server applies the deltas.
+
+    ``delta(c)`` lands on the *child links* of an internal cut node and on
+    the *leaf modulator* of a leaf cut node, so a link into ``slot`` moves
+    iff ``parent(slot)`` is a cut node, and a leaf modulator at ``slot``
+    moves iff ``slot`` itself is a cut node.
+    """
+    if kind == "link":
+        delta = delta_by_cut_slot.get(slot // 2)
+    else:
+        delta = delta_by_cut_slot.get(slot)
+    return xor_bytes(value, delta) if delta is not None else value
+
+
+def compute_balance_values(
+        engine: ChainEngine, new_key: bytes, mt: MTView,
+        balance: Optional[BalanceView],
+        cut_slots: Sequence[int], deltas: Sequence[bytes],
+        rng: RandomSource,
+) -> tuple[Optional[bytes], Optional[bytes], Optional[bytes]]:
+    """Equations 8 and 9: leaf-modulator reassignments for rebalancing.
+
+    Evaluated against the tree *as it will stand after the deltas are
+    applied*, under the new master key alone: the client locally applies
+    its own deltas to the received balance view, then uses the identity of
+    :func:`repro.core.modulated_chain.releaf_modulator`.  Returns
+    ``(x_s_prime, dest_link, dest_leaf)`` matching
+    :meth:`repro.core.tree.ModulationTree.delete_leaf`.
+    """
+    if balance is None:
+        return None, None, None
+
+    slot_k = mt.path_slots[-1]
+    t_slot = balance.t_path.leaf_slot
+    s_slot = balance.s_slot
+    delta_by_cut_slot = dict(zip(cut_slots, deltas))
+
+    t_links = [
+        _post_delta(link, slot, "link", delta_by_cut_slot)
+        for slot, link in zip(balance.t_path.path_slots[1:],
+                              balance.t_path.path_links)
+    ]
+    t_leaf = _post_delta(balance.t_path.leaf_mod, t_slot, "leaf",
+                         delta_by_cut_slot)
+    s_link = _post_delta(balance.s_link_mod, s_slot, "link", delta_by_cut_slot)
+    s_leaf = _post_delta(balance.s_leaf_mod, s_slot, "leaf", delta_by_cut_slot)
+
+    prefixes = engine.prefix_values(new_key, t_links)
+    parent_value = prefixes[-2]  # F(K', M_p): chain value at t's parent p.
+
+    # Eq. 8: s takes over p's slot; its prefix shortens by one link.
+    old_prefix_s = engine.step(parent_value, s_link)
+    x_s_prime = releaf_modulator(parent_value, old_prefix_s, s_leaf)
+
+    if slot_k == t_slot:
+        return x_s_prime, None, None
+
+    old_prefix_t = prefixes[-1]  # F(K', M_t links): value before t's leaf mod.
+
+    if slot_k == s_slot:
+        # t takes over the collapsed parent slot, inheriting its incoming
+        # link; its new prefix is the chain value at p.
+        dest_leaf = releaf_modulator(parent_value, old_prefix_t, t_leaf)
+        return x_s_prime, None, dest_leaf
+
+    # Eq. 9: t lands on k's old slot under a fresh link modulator chosen by
+    # the client.  P(k)'s link modulators are never delta-adjusted (the cut
+    # nodes' children are all off-path), so the received values are current.
+    dest_link = rng.bytes(engine.digest_size)
+    parent_k_value = engine.evaluate(new_key, mt.path_links[:-1])
+    new_prefix_t = engine.step(parent_k_value, dest_link)
+    dest_leaf = releaf_modulator(new_prefix_t, old_prefix_t, t_leaf)
+    return x_s_prime, dest_link, dest_leaf
+
+
+def compute_insertion(engine: ChainEngine, master_key: bytes,
+                      insert_path: Optional[PathView],
+                      rng: RandomSource) -> InsertionCommit:
+    """Section IV-E: split the shallowest leaf and key the new leaf ``e``."""
+    width = engine.digest_size
+    if insert_path is None:
+        # Empty tree: the new leaf is the root; M_e = <x_e>.
+        e_leaf = rng.bytes(width)
+        chain_output = engine.evaluate(master_key, [e_leaf])
+        return InsertionCommit(t_new_link=None, t_new_leaf=None, e_link=None,
+                               e_leaf=e_leaf, chain_output=chain_output)
+
+    verify_path_structure(insert_path)
+    verify_distinct_modulators(insert_path.modulator_list())
+    prefix_value = engine.evaluate(master_key, insert_path.path_links)
+
+    t_new_link = rng.bytes(width)
+    new_prefix_t = engine.step(prefix_value, t_new_link)
+    t_new_leaf = releaf_modulator(new_prefix_t, prefix_value,
+                                  insert_path.leaf_mod)
+
+    e_link = rng.bytes(width)
+    e_leaf = rng.bytes(width)
+    chain_output = engine.step(engine.step(prefix_value, e_link), e_leaf)
+    return InsertionCommit(t_new_link=t_new_link, t_new_leaf=t_new_leaf,
+                           e_link=e_link, e_leaf=e_leaf,
+                           chain_output=chain_output)
+
+
+def derive_all_keys(engine: ChainEngine, master_key: bytes, n_leaves: int,
+                    links: Sequence[Optional[bytes]],
+                    leaves: Sequence[Optional[bytes]]) -> dict[int, bytes]:
+    """Derive every leaf's chain output from a full tree snapshot.
+
+    ``links[slot]`` / ``leaves[slot]`` are slot-indexed (entries below the
+    first valid slot are ignored).  Prefix values are shared down the tree,
+    so the whole file costs ``3n - 2`` hashes rather than ``n log n`` --
+    this is the numerator of Table III's computation-overhead ratio.
+    """
+    if n_leaves == 0:
+        return {}
+    total = 2 * n_leaves - 1
+    values: list[Optional[bytes]] = [None] * (total + 1)
+    values[1] = engine.pad_key(master_key)
+    outputs: dict[int, bytes] = {}
+
+    # Level-order traversal: every slot on one level depends only on the
+    # previous level, so each level is one batched step_many call -- a
+    # large constant-factor win for whole-file fetches without changing
+    # the 3n-2 hash count.
+    level_start = 2
+    while level_start <= total:
+        level_end = min(2 * level_start - 1, total)
+        slots = range(level_start, level_end + 1)
+        level_links = []
+        parent_values = []
+        for slot in slots:
+            link = links[slot]
+            if link is None:
+                raise StructureError(f"missing link modulator for slot {slot}")
+            level_links.append(link)
+            parent_values.append(values[slot // 2])
+        for slot, value in zip(slots, engine.step_many(parent_values,
+                                                       level_links)):
+            values[slot] = value
+        level_start = 2 * level_start
+
+    leaf_slots = range(n_leaves, total + 1)
+    leaf_mods = []
+    for slot in leaf_slots:
+        leaf = leaves[slot]
+        if leaf is None:
+            raise StructureError(f"missing leaf modulator for slot {slot}")
+        leaf_mods.append(leaf)
+    leaf_values = [values[slot] for slot in leaf_slots]
+    for slot, output in zip(leaf_slots, engine.step_many(leaf_values,
+                                                         leaf_mods)):
+        outputs[slot] = output
+    return outputs

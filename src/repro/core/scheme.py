@@ -1,0 +1,64 @@
+"""One-call façade wiring a client to an in-process server.
+
+:class:`LocalScheme` is the quickest way to use the library: it creates a
+:class:`~repro.server.server.CloudServer`, a metering loopback channel,
+and an :class:`~repro.client.client.AssuredDeletionClient`, and exposes a
+single-file workflow with master keys managed in the client keystore.
+Multi-file deployments with outsourced master keys use
+:class:`repro.fs.filesystem.OutsourcedFileSystem` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.client.client import AssuredDeletionClient
+from repro.core.params import Params
+from repro.crypto.rng import RandomSource, SystemRandom
+from repro.protocol.channel import LoopbackChannel
+from repro.server.server import CloudServer
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import NetworkModel
+
+
+class LocalScheme:
+    """Client + in-process server pair for single-file use."""
+
+    def __init__(self, params: Params | None = None,
+                 rng: RandomSource | None = None,
+                 network: NetworkModel | None = None) -> None:
+        self.params = params if params is not None else Params()
+        self.server = CloudServer(self.params)
+        self.channel = LoopbackChannel(self.server, network=network)
+        self.metrics = MetricsCollector()
+        self.client = AssuredDeletionClient(
+            self.channel, self.params,
+            rng=rng if rng is not None else SystemRandom(),
+            metrics=self.metrics)
+        self._next_file_id = 1
+
+    def new_file(self, items: Sequence[bytes]) -> tuple[int, list[int]]:
+        """Outsource ``items`` as a new file; returns (file_id, item_ids)."""
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        self.client.outsource(file_id, items)
+        return file_id, self.client.item_ids_of(len(items))
+
+    def _key(self, file_id: int) -> bytes:
+        return self.client.keystore.get(f"master:{file_id}")
+
+    def access(self, file_id: int, item_id: int) -> bytes:
+        return self.client.access(file_id, self._key(file_id), item_id)
+
+    def modify(self, file_id: int, item_id: int, new_message: bytes) -> None:
+        self.client.modify(file_id, self._key(file_id), item_id, new_message)
+
+    def insert(self, file_id: int, message: bytes) -> int:
+        return self.client.insert(file_id, self._key(file_id), message)
+
+    def delete(self, file_id: int, item_id: int) -> None:
+        """Assuredly delete one item (master key rotation is internal)."""
+        self.client.delete(file_id, self._key(file_id), item_id)
+
+    def fetch_file(self, file_id: int) -> dict[int, bytes]:
+        return self.client.fetch_file(file_id, self._key(file_id))

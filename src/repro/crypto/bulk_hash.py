@@ -1,0 +1,136 @@
+"""Vectorised SHA-1 over many independent messages (numpy).
+
+SHA-1 is sequential *within* one message but embarrassingly parallel
+*across* messages.  Whole-file key derivation hashes ``3n-2`` short
+values, the whole-file fetch verifies ``n`` item tags, and the
+master-key baseline re-hashes every item on every deletion -- all of
+them batches of same-length inputs.  This module runs the FIPS 180-4
+compression function across N messages at once with numpy vector ops,
+giving a ~10-20x speedup over the scalar implementation at batch sizes
+in the thousands.
+
+Output is bit-identical to :func:`repro.crypto.sha1.sha1`; the test
+suite cross-verifies against it (and hence against hashlib).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+import numpy as np
+
+from repro.crypto.sha1 import sha1
+
+#: Below this batch size the scalar implementation wins on overhead.
+MIN_BATCH = 16
+
+_U32 = np.uint32
+_K = (_U32(0x5A827999), _U32(0x6ED9EBA1), _U32(0x8F1BBCDC), _U32(0xCA62C1D6))
+_INIT = (_U32(0x67452301), _U32(0xEFCDAB89), _U32(0x98BADCFE),
+         _U32(0x10325476), _U32(0xC3D2E1F0))
+
+
+def _rotl(values: np.ndarray, amount: int) -> np.ndarray:
+    return (values << _U32(amount)) | (values >> _U32(32 - amount))
+
+
+def _sha1_equal_length(messages: Sequence[bytes], length: int) -> list[bytes]:
+    """Hash N messages of identical ``length`` in parallel."""
+    count = len(messages)
+    padded_length = ((length + 8) // 64 + 1) * 64
+    data = np.zeros((count, padded_length), dtype=np.uint8)
+    if length:
+        flat = np.frombuffer(b"".join(messages), dtype=np.uint8)
+        data[:, :length] = flat.reshape(count, length)
+    data[:, length] = 0x80
+    bit_length = struct.pack(">Q", length * 8)
+    data[:, padded_length - 8:] = np.frombuffer(bit_length, dtype=np.uint8)
+
+    # (count, blocks, 16) big-endian words.
+    words = data.reshape(count, padded_length // 64, 16, 4)
+    words = (words[..., 0].astype(_U32) << _U32(24)) \
+        | (words[..., 1].astype(_U32) << _U32(16)) \
+        | (words[..., 2].astype(_U32) << _U32(8)) \
+        | words[..., 3].astype(_U32)
+
+    h0 = np.full(count, _INIT[0], dtype=_U32)
+    h1 = np.full(count, _INIT[1], dtype=_U32)
+    h2 = np.full(count, _INIT[2], dtype=_U32)
+    h3 = np.full(count, _INIT[3], dtype=_U32)
+    h4 = np.full(count, _INIT[4], dtype=_U32)
+
+    for block in range(words.shape[1]):
+        w = [words[:, block, t] for t in range(16)]
+        for t in range(16, 80):
+            w.append(_rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+
+        a, b, c, d, e = h0, h1, h2, h3, h4
+        for t in range(80):
+            if t < 20:
+                f = (b & c) | (~b & d)
+                k = _K[0]
+            elif t < 40:
+                f = b ^ c ^ d
+                k = _K[1]
+            elif t < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = _K[2]
+            else:
+                f = b ^ c ^ d
+                k = _K[3]
+            temp = _rotl(a, 5) + f + e + w[t] + k
+            a, b, c, d, e = temp, a, _rotl(b, 30), c, d
+
+        h0 = h0 + a
+        h1 = h1 + b
+        h2 = h2 + c
+        h3 = h3 + d
+        h4 = h4 + e
+
+    digests = np.empty((count, 5), dtype=_U32)
+    digests[:, 0] = h0
+    digests[:, 1] = h1
+    digests[:, 2] = h2
+    digests[:, 3] = h3
+    digests[:, 4] = h4
+    packed = digests.astype(">u4").tobytes()
+    return [packed[i * 20:(i + 1) * 20] for i in range(count)]
+
+
+def sha1_many(messages: Sequence[bytes]) -> list[bytes]:
+    """SHA-1 of every message, vectorised across equal-length groups.
+
+    Mixed lengths are supported: messages are grouped by length, each
+    group hashed in one vectorised pass, tiny groups falling back to the
+    scalar implementation.
+    """
+    results: list[bytes | None] = [None] * len(messages)
+    by_length: dict[int, list[int]] = {}
+    for index, message in enumerate(messages):
+        by_length.setdefault(len(message), []).append(index)
+
+    for length, indices in by_length.items():
+        if len(indices) < MIN_BATCH:
+            for index in indices:
+                results[index] = sha1(messages[index])
+        else:
+            group = [messages[index] for index in indices]
+            for index, digest in zip(indices, _sha1_equal_length(group, length)):
+                results[index] = digest
+    return results  # type: ignore[return-value]
+
+
+def xor_many(pairs_a: Sequence[bytes], pairs_b: Sequence[bytes]) -> list[bytes]:
+    """Element-wise XOR of two equal-shape byte-string sequences."""
+    if len(pairs_a) != len(pairs_b):
+        raise ValueError("sequences must have equal length")
+    if not pairs_a:
+        return []
+    width = len(pairs_a[0])
+    a = np.frombuffer(b"".join(pairs_a), dtype=np.uint8).reshape(-1, width)
+    b = np.frombuffer(b"".join(pairs_b), dtype=np.uint8).reshape(-1, width)
+    if a.shape != b.shape:
+        raise ValueError("all strings must share one width")
+    packed = (a ^ b).tobytes()
+    return [packed[i * width:(i + 1) * width] for i in range(len(pairs_a))]

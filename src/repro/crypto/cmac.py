@@ -1,0 +1,66 @@
+"""AES-CMAC (RFC 4493 / NIST SP 800-38B).
+
+A block-cipher MAC for deployments that want message authentication
+without a hash function -- e.g. authenticating the client-side deletion
+journal at rest.  Not on the paper's data path (item integrity is the
+``H(m || r)`` binding); part of the substrate, validated against the
+RFC 4493 test vectors.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES
+from repro.crypto.ct import bytes_eq
+
+_BLOCK = 16
+_RB = 0x87
+
+
+def _double(block: bytes) -> bytes:
+    """Left-shift by one bit in GF(2^128) with the CMAC reduction."""
+    value = int.from_bytes(block, "big") << 1
+    if value >> 128:
+        value = (value & ((1 << 128) - 1)) ^ _RB
+    return value.to_bytes(_BLOCK, "big")
+
+
+def _subkeys(cipher: AES) -> tuple[bytes, bytes]:
+    k1 = _double(cipher.encrypt_block(b"\x00" * _BLOCK))
+    return k1, _double(k1)
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def aes_cmac(key: bytes, message: bytes, *, mac_length: int = 16) -> bytes:
+    """Compute the CMAC of ``message`` under ``key``."""
+    if not 1 <= mac_length <= 16:
+        raise ValueError("MAC length must be 1..16 bytes")
+    cipher = AES(key)
+    k1, k2 = _subkeys(cipher)
+
+    if message and len(message) % _BLOCK == 0:
+        complete = True
+        block_count = len(message) // _BLOCK
+    else:
+        complete = False
+        block_count = len(message) // _BLOCK + 1
+
+    state = b"\x00" * _BLOCK
+    for i in range(block_count - 1):
+        state = cipher.encrypt_block(_xor(state,
+                                          message[i * _BLOCK:(i + 1) * _BLOCK]))
+
+    last = message[(block_count - 1) * _BLOCK:]
+    if complete:
+        final = _xor(last, k1)
+    else:
+        padded = last + b"\x80" + b"\x00" * (_BLOCK - len(last) - 1)
+        final = _xor(padded, k2)
+    return cipher.encrypt_block(_xor(state, final))[:mac_length]
+
+
+def aes_cmac_verify(key: bytes, message: bytes, mac: bytes) -> bool:
+    """Constant-time CMAC verification."""
+    return bytes_eq(aes_cmac(key, message, mac_length=len(mac)), mac)

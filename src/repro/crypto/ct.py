@@ -1,0 +1,24 @@
+"""Constant-time comparison helpers.
+
+The client compares recomputed hashes ``H(m)`` against values arriving from
+a possibly hostile server; those comparisons use :func:`bytes_eq` so the
+comparison time does not leak the position of the first mismatching byte.
+"""
+
+from __future__ import annotations
+
+
+def bytes_eq(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings in time independent of their contents.
+
+    Length inequality returns ``False`` immediately; lengths are public in
+    every protocol message of this library.
+    """
+    if not isinstance(a, (bytes, bytearray)) or not isinstance(b, (bytes, bytearray)):
+        raise TypeError("bytes_eq requires bytes-like arguments")
+    if len(a) != len(b):
+        return False
+    result = 0
+    for x, y in zip(a, b):
+        result |= x ^ y
+    return result == 0

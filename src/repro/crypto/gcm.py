@@ -1,0 +1,114 @@
+"""AES-GCM authenticated encryption (NIST SP 800-38D).
+
+The paper's item codec authenticates with ``H(m || r)`` inside the
+ciphertext, which is what Theorem 2's decrypt-verification argument is
+stated over, so GCM is not on the default data path.  It is provided as
+part of the crypto substrate for deployments that prefer a standard AEAD
+for the payload (the ``r`` binding then travels as associated data), and
+is validated against the NIST GCM test vectors.
+
+GHASH runs in GF(2^128) with the reflected reduction polynomial; this is
+a straightforward, table-free implementation -- correct and adequate for
+item-sized payloads, not tuned for bulk throughput.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.errors import IntegrityError
+from repro.crypto.aes import AES
+from repro.crypto.ct import bytes_eq
+
+_R = 0xE1000000000000000000000000000000
+
+
+def _gf128_mul(x: int, y: int) -> int:
+    """Multiply in GF(2^128) per SP 800-38D section 6.3."""
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def _ghash(h: int, data: bytes) -> int:
+    """GHASH_H over ``data`` (already padded to 16-byte blocks)."""
+    y = 0
+    for i in range(0, len(data), 16):
+        block = int.from_bytes(data[i:i + 16], "big")
+        y = _gf128_mul(y ^ block, h)
+    return y
+
+
+def _pad16(data: bytes) -> bytes:
+    remainder = len(data) % 16
+    return data + b"\x00" * (16 - remainder) if remainder else data
+
+
+def _derive_j0(cipher: AES, h: int, iv: bytes) -> bytes:
+    if len(iv) == 12:
+        return iv + b"\x00\x00\x00\x01"
+    lengths = struct.pack(">QQ", 0, len(iv) * 8)
+    return _ghash(h, _pad16(iv) + lengths).to_bytes(16, "big")
+
+
+def _gctr(cipher: AES, initial_block: bytes, data: bytes) -> bytes:
+    """GCTR: CTR mode with a 32-bit wrapping counter in the last word."""
+    if not data:
+        return b""
+    prefix = initial_block[:12]
+    counter = int.from_bytes(initial_block[12:], "big")
+    output = bytearray()
+    for i in range(0, len(data), 16):
+        keystream = cipher.encrypt_block(prefix + counter.to_bytes(4, "big"))
+        chunk = data[i:i + 16]
+        output.extend(x ^ y for x, y in zip(chunk, keystream))
+        counter = (counter + 1) & 0xFFFFFFFF
+    return bytes(output)
+
+
+def _tag(cipher: AES, h: int, j0: bytes, aad: bytes, ciphertext: bytes,
+         tag_length: int) -> bytes:
+    lengths = struct.pack(">QQ", len(aad) * 8, len(ciphertext) * 8)
+    s = _ghash(h, _pad16(aad) + _pad16(ciphertext) + lengths)
+    full = _gctr(cipher, j0, s.to_bytes(16, "big"))
+    return full[:tag_length]
+
+
+def aes_gcm_encrypt(key: bytes, iv: bytes, plaintext: bytes,
+                    aad: bytes = b"", *, tag_length: int = 16,
+                    ) -> tuple[bytes, bytes]:
+    """Encrypt; returns ``(ciphertext, tag)``."""
+    if not 12 <= tag_length <= 16:
+        raise ValueError("tag length must be 12..16 bytes")
+    if not iv:
+        raise ValueError("IV must be non-empty")
+    cipher = AES(key)
+    h = int.from_bytes(cipher.encrypt_block(b"\x00" * 16), "big")
+    j0 = _derive_j0(cipher, h, iv)
+    counter_1 = j0[:12] + ((int.from_bytes(j0[12:], "big") + 1)
+                           & 0xFFFFFFFF).to_bytes(4, "big")
+    ciphertext = _gctr(cipher, counter_1, plaintext)
+    return ciphertext, _tag(cipher, h, j0, aad, ciphertext, tag_length)
+
+
+def aes_gcm_decrypt(key: bytes, iv: bytes, ciphertext: bytes, tag: bytes,
+                    aad: bytes = b"") -> bytes:
+    """Decrypt and verify; raises :class:`IntegrityError` on a bad tag."""
+    if not 12 <= len(tag) <= 16:
+        raise ValueError("tag length must be 12..16 bytes")
+    cipher = AES(key)
+    h = int.from_bytes(cipher.encrypt_block(b"\x00" * 16), "big")
+    j0 = _derive_j0(cipher, h, iv)
+    expected = _tag(cipher, h, j0, aad, ciphertext, len(tag))
+    if not bytes_eq(expected, tag):
+        raise IntegrityError("GCM tag verification failed")
+    counter_1 = j0[:12] + ((int.from_bytes(j0[12:], "big") + 1)
+                           & 0xFFFFFFFF).to_bytes(4, "big")
+    return _gctr(cipher, counter_1, ciphertext)

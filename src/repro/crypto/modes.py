@@ -1,0 +1,112 @@
+"""Block cipher modes of operation over the AES block transform.
+
+The item codec (:mod:`repro.core.ciphertext`) uses AES-CTR so ciphertext
+length equals plaintext length plus the nonce; CBC with PKCS#7 is provided
+for completeness and for the NIST SP 800-38A conformance tests.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES
+from repro.crypto.padding import pad, unpad
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def aes_ecb_encrypt(cipher: AES, plaintext: bytes) -> bytes:
+    """ECB encryption of a block-aligned plaintext (test vectors only)."""
+    if len(plaintext) % 16:
+        raise ValueError("ECB requires block-aligned input")
+    return b"".join(cipher.encrypt_block(plaintext[i:i + 16])
+                    for i in range(0, len(plaintext), 16))
+
+
+def aes_ecb_decrypt(cipher: AES, ciphertext: bytes) -> bytes:
+    """ECB decryption of a block-aligned ciphertext (test vectors only)."""
+    if len(ciphertext) % 16:
+        raise ValueError("ECB requires block-aligned input")
+    return b"".join(cipher.decrypt_block(ciphertext[i:i + 16])
+                    for i in range(0, len(ciphertext), 16))
+
+
+def aes_cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes, *,
+                    padded: bool = True) -> bytes:
+    """CBC-encrypt ``plaintext`` under ``key`` with the given 16-byte IV."""
+    if len(iv) != 16:
+        raise ValueError("CBC IV must be 16 bytes")
+    cipher = AES(key)
+    if padded:
+        plaintext = pad(plaintext, 16)
+    elif len(plaintext) % 16:
+        raise ValueError("unpadded CBC requires block-aligned input")
+
+    blocks = []
+    previous = iv
+    for i in range(0, len(plaintext), 16):
+        block = cipher.encrypt_block(_xor_bytes(plaintext[i:i + 16], previous))
+        blocks.append(block)
+        previous = block
+    return b"".join(blocks)
+
+
+def aes_cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes, *,
+                    padded: bool = True) -> bytes:
+    """CBC-decrypt ``ciphertext`` under ``key`` with the given 16-byte IV."""
+    if len(iv) != 16:
+        raise ValueError("CBC IV must be 16 bytes")
+    if len(ciphertext) % 16:
+        raise ValueError("CBC ciphertext must be block-aligned")
+    cipher = AES(key)
+
+    blocks = []
+    previous = iv
+    for i in range(0, len(ciphertext), 16):
+        block = ciphertext[i:i + 16]
+        blocks.append(_xor_bytes(cipher.decrypt_block(block), previous))
+        previous = block
+    plaintext = b"".join(blocks)
+    return unpad(plaintext, 16) if padded else plaintext
+
+
+def aes_ctr(key: bytes, nonce: bytes, data: bytes, *,
+            initial_counter: int = 0) -> bytes:
+    """Encrypt or decrypt ``data`` with AES-CTR (the operation is symmetric).
+
+    The counter block is ``nonce (8 bytes) || counter (8 bytes, big endian)``.
+    For payloads above one block this delegates to the vectorised engine in
+    :mod:`repro.crypto.bulk` when numpy is available; results are identical.
+    """
+    if len(nonce) != 8:
+        raise ValueError("CTR nonce must be 8 bytes")
+    if initial_counter < 0:
+        raise ValueError("initial counter must be non-negative")
+    if not data:
+        return b""
+
+    if len(data) > 16:
+        # The bulk engine is exact and much faster for multi-block payloads.
+        from repro.crypto.bulk import ctr_transform
+        return ctr_transform(key, nonce, data, initial_counter=initial_counter)
+
+    cipher = AES(key)
+    keystream = cipher.encrypt_block(nonce + initial_counter.to_bytes(8, "big"))
+    return _xor_bytes(data, keystream[:len(data)])
+
+
+def aes_ctr_scalar(key: bytes, nonce: bytes, data: bytes, *,
+                   initial_counter: int = 0) -> bytes:
+    """Pure-Python AES-CTR used as the reference for the vectorised engine."""
+    if len(nonce) != 8:
+        raise ValueError("CTR nonce must be 8 bytes")
+    cipher = AES(key)
+    output = bytearray()
+    counter = initial_counter
+    for i in range(0, len(data), 16):
+        keystream = cipher.encrypt_block(nonce + counter.to_bytes(8, "big"))
+        chunk = data[i:i + 16]
+        output.extend(x ^ y for x, y in zip(chunk, keystream))
+        counter += 1
+    return bytes(output)

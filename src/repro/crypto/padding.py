@@ -1,0 +1,29 @@
+"""PKCS#7 padding (RFC 5652 section 6.3) for block cipher modes."""
+
+from __future__ import annotations
+
+
+class PaddingError(ValueError):
+    """Raised when a padded plaintext fails validation on removal."""
+
+
+def pad(data: bytes, block_size: int = 16) -> bytes:
+    """Append PKCS#7 padding so the result is a multiple of ``block_size``."""
+    if not 1 <= block_size <= 255:
+        raise ValueError("block size must be in [1, 255]")
+    pad_length = block_size - (len(data) % block_size)
+    return data + bytes([pad_length]) * pad_length
+
+
+def unpad(data: bytes, block_size: int = 16) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not 1 <= block_size <= 255:
+        raise ValueError("block size must be in [1, 255]")
+    if not data or len(data) % block_size:
+        raise PaddingError("padded data length is not a multiple of the block size")
+    pad_length = data[-1]
+    if not 1 <= pad_length <= block_size:
+        raise PaddingError("invalid padding length byte")
+    if data[-pad_length:] != bytes([pad_length]) * pad_length:
+        raise PaddingError("padding bytes are inconsistent")
+    return data[:-pad_length]

@@ -1,0 +1,127 @@
+"""SHA-1 implemented from the FIPS 180-4 specification.
+
+The paper uses SHA-1 as the one-way, collision-resistant hash ``H`` inside
+its modulated hash chains; every modulator and chain value is one 160-bit
+digest.  This module provides both an incremental hash object (:class:`Sha1`,
+mirroring the familiar ``hashlib`` interface) and a one-shot helper
+(:func:`sha1`).
+
+SHA-1 is cryptographically broken for collision resistance against
+well-funded adversaries; it is implemented here because the paper specifies
+it.  The rest of the library treats the chain hash as a pluggable parameter
+(see :class:`repro.core.modulated_chain.ChainHash`), and SHA-256 is available
+as a drop-in replacement.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK32 = 0xFFFFFFFF
+
+# Per-round constants from FIPS 180-4 section 4.2.1.
+_K = (0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6)
+
+_INITIAL_STATE = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+_BLOCK_STRUCT = struct.Struct(">16I")
+_DIGEST_STRUCT = struct.Struct(">5I")
+
+
+def _rotl(value: int, amount: int) -> int:
+    """Rotate a 32-bit value left by ``amount`` bits."""
+    return ((value << amount) | (value >> (32 - amount))) & _MASK32
+
+
+def _compress(state: tuple[int, int, int, int, int], block: bytes,
+              offset: int = 0) -> tuple[int, int, int, int, int]:
+    """Run the SHA-1 compression function on one 64-byte block."""
+    w = list(_BLOCK_STRUCT.unpack_from(block, offset))
+    for t in range(16, 80):
+        w.append(_rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+
+    a, b, c, d, e = state
+
+    for t in range(0, 20):
+        temp = (_rotl(a, 5) + ((b & c) | (~b & d)) + e + w[t] + _K[0]) & _MASK32
+        a, b, c, d, e = temp, a, _rotl(b, 30), c, d
+    for t in range(20, 40):
+        temp = (_rotl(a, 5) + (b ^ c ^ d) + e + w[t] + _K[1]) & _MASK32
+        a, b, c, d, e = temp, a, _rotl(b, 30), c, d
+    for t in range(40, 60):
+        temp = (_rotl(a, 5) + ((b & c) | (b & d) | (c & d)) + e + w[t]
+                + _K[2]) & _MASK32
+        a, b, c, d, e = temp, a, _rotl(b, 30), c, d
+    for t in range(60, 80):
+        temp = (_rotl(a, 5) + (b ^ c ^ d) + e + w[t] + _K[3]) & _MASK32
+        a, b, c, d, e = temp, a, _rotl(b, 30), c, d
+
+    h0, h1, h2, h3, h4 = state
+    return (
+        (h0 + a) & _MASK32,
+        (h1 + b) & _MASK32,
+        (h2 + c) & _MASK32,
+        (h3 + d) & _MASK32,
+        (h4 + e) & _MASK32,
+    )
+
+
+class Sha1:
+    """Incremental SHA-1 hash object with a ``hashlib``-style interface."""
+
+    #: Digest length in bytes.
+    digest_size = 20
+    #: Internal block length in bytes.
+    block_size = 64
+    #: Canonical algorithm name.
+    name = "sha1"
+
+    __slots__ = ("_state", "_buffer", "_length")
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = _INITIAL_STATE
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb ``data`` into the hash state."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"expected bytes-like input, got {type(data).__name__}")
+        data = bytes(data)
+        self._length += len(data)
+        buffer = self._buffer + data
+        state = self._state
+        block_count = len(buffer) // 64
+        for i in range(block_count):
+            state = _compress(state, buffer, i * 64)
+        self._state = state
+        self._buffer = buffer[block_count * 64:]
+
+    def digest(self) -> bytes:
+        """Return the 20-byte digest of the data absorbed so far."""
+        state = self._state
+        bit_length = self._length * 8
+        padding = b"\x80" + b"\x00" * ((55 - self._length) % 64)
+        tail = self._buffer + padding + struct.pack(">Q", bit_length)
+        for i in range(len(tail) // 64):
+            state = _compress(state, tail, i * 64)
+        return _DIGEST_STRUCT.pack(*state)
+
+    def hexdigest(self) -> str:
+        """Return the digest as a lowercase hex string."""
+        return self.digest().hex()
+
+    def copy(self) -> "Sha1":
+        """Return an independent copy of the current hash state."""
+        clone = Sha1()
+        clone._state = self._state
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+
+def sha1(data: bytes) -> bytes:
+    """One-shot SHA-1: return the 20-byte digest of ``data``."""
+    return Sha1(data).digest()

@@ -1,0 +1,138 @@
+"""SHA-256 implemented from the FIPS 180-4 specification.
+
+The paper's construction only requires *a* one-way, collision-resistant hash
+with pseudo-random output; SHA-1 is what the authors measured, but nothing in
+the scheme depends on the digest width beyond the modulator size.  SHA-256 is
+provided as a drop-in alternative chain hash used by the hash-choice ablation
+benchmarks and by deployments that must avoid SHA-1.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK32 = 0xFFFFFFFF
+
+# Round constants: first 32 bits of the fractional parts of the cube roots
+# of the first 64 primes (FIPS 180-4 section 4.2.2).
+_K = (
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5,
+    0x3956C25B, 0x59F111F1, 0x923F82A4, 0xAB1C5ED5,
+    0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174,
+    0xE49B69C1, 0xEFBE4786, 0x0FC19DC6, 0x240CA1CC,
+    0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7,
+    0xC6E00BF3, 0xD5A79147, 0x06CA6351, 0x14292967,
+    0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85,
+    0xA2BFE8A1, 0xA81A664B, 0xC24B8B70, 0xC76C51A3,
+    0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5,
+    0x391C0CB3, 0x4ED8AA4A, 0x5B9CCA4F, 0x682E6FF3,
+    0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+)
+
+_INITIAL_STATE = (
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+)
+
+_BLOCK_STRUCT = struct.Struct(">16I")
+_DIGEST_STRUCT = struct.Struct(">8I")
+
+
+def _rotr(value: int, amount: int) -> int:
+    """Rotate a 32-bit value right by ``amount`` bits."""
+    return ((value >> amount) | (value << (32 - amount))) & _MASK32
+
+
+def _compress(state: tuple[int, ...], block: bytes, offset: int = 0) -> tuple[int, ...]:
+    """Run the SHA-256 compression function on one 64-byte block."""
+    w = list(_BLOCK_STRUCT.unpack_from(block, offset))
+    for t in range(16, 64):
+        s0 = _rotr(w[t - 15], 7) ^ _rotr(w[t - 15], 18) ^ (w[t - 15] >> 3)
+        s1 = _rotr(w[t - 2], 17) ^ _rotr(w[t - 2], 19) ^ (w[t - 2] >> 10)
+        w.append((w[t - 16] + s0 + w[t - 7] + s1) & _MASK32)
+
+    a, b, c, d, e, f, g, h = state
+
+    for t in range(64):
+        big_s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+        ch = (e & f) ^ (~e & g)
+        temp1 = (h + big_s1 + ch + _K[t] + w[t]) & _MASK32
+        big_s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+        maj = (a & b) ^ (a & c) ^ (b & c)
+        temp2 = (big_s0 + maj) & _MASK32
+        h = g
+        g = f
+        f = e
+        e = (d + temp1) & _MASK32
+        d = c
+        c = b
+        b = a
+        a = (temp1 + temp2) & _MASK32
+
+    return tuple((x + y) & _MASK32 for x, y in zip(state, (a, b, c, d, e, f, g, h)))
+
+
+class Sha256:
+    """Incremental SHA-256 hash object with a ``hashlib``-style interface."""
+
+    #: Digest length in bytes.
+    digest_size = 32
+    #: Internal block length in bytes.
+    block_size = 64
+    #: Canonical algorithm name.
+    name = "sha256"
+
+    __slots__ = ("_state", "_buffer", "_length")
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = _INITIAL_STATE
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb ``data`` into the hash state."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"expected bytes-like input, got {type(data).__name__}")
+        data = bytes(data)
+        self._length += len(data)
+        buffer = self._buffer + data
+        state = self._state
+        block_count = len(buffer) // 64
+        for i in range(block_count):
+            state = _compress(state, buffer, i * 64)
+        self._state = state
+        self._buffer = buffer[block_count * 64:]
+
+    def digest(self) -> bytes:
+        """Return the 32-byte digest of the data absorbed so far."""
+        state = self._state
+        bit_length = self._length * 8
+        padding = b"\x80" + b"\x00" * ((55 - self._length) % 64)
+        tail = self._buffer + padding + struct.pack(">Q", bit_length)
+        for i in range(len(tail) // 64):
+            state = _compress(state, tail, i * 64)
+        return _DIGEST_STRUCT.pack(*state)
+
+    def hexdigest(self) -> str:
+        """Return the digest as a lowercase hex string."""
+        return self.digest().hex()
+
+    def copy(self) -> "Sha256":
+        """Return an independent copy of the current hash state."""
+        clone = Sha256()
+        clone._state = self._state
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+
+def sha256(data: bytes) -> bytes:
+    """One-shot SHA-256: return the 32-byte digest of ``data``."""
+    return Sha256(data).digest()

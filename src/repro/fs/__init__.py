@@ -1,0 +1,20 @@
+"""Multi-file outsourced file system (Section V deployment shape)."""
+
+from repro.fs.filesystem import (FileRecord, OutsourcedFile,
+                                 OutsourcedFileSystem, directory_group)
+from repro.fs.indexing import ItemIndex, Located
+from repro.fs.proxy import ALL_RIGHTS, DELETE, READ, WRITE, KeyProxy
+
+__all__ = [
+    "ALL_RIGHTS",
+    "DELETE",
+    "FileRecord",
+    "ItemIndex",
+    "KeyProxy",
+    "Located",
+    "OutsourcedFile",
+    "OutsourcedFileSystem",
+    "READ",
+    "WRITE",
+    "directory_group",
+]

@@ -1,0 +1,94 @@
+"""Logical record ordering and byte-offset indexing for outsourced files.
+
+The modulation tree orders items by leaf slot, which changes under
+balancing; user-visible files need a stable *logical* order and, per the
+paper's footnote 2, byte-offset addressing over variable-size items ("the
+size of each data item is stored with the ciphertext, such that the cloud
+server may sequentially scan the encrypted items and accumulate the sizes
+until the specified offset is reached").  This index keeps the ordered
+``(item_id, size)`` list and resolves offsets exactly that way -- a
+sequential scan with accumulated sizes, client-side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Located:
+    """Result of a byte-offset lookup."""
+
+    position: int
+    item_id: int
+    item_start: int
+    item_size: int
+
+    @property
+    def offset_in_item(self) -> int:
+        return self.item_start
+
+
+class ItemIndex:
+    """Ordered records of an outsourced file: ``(item_id, size)`` pairs."""
+
+    def __init__(self) -> None:
+        self._records: list[tuple[int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def total_size(self) -> int:
+        return sum(size for _id, size in self._records)
+
+    def append(self, item_id: int, size: int) -> None:
+        if size < 0:
+            raise ValueError("record size must be non-negative")
+        self._records.append((item_id, size))
+
+    def insert(self, position: int, item_id: int, size: int) -> None:
+        if size < 0:
+            raise ValueError("record size must be non-negative")
+        if not 0 <= position <= len(self._records):
+            raise IndexError("record position out of range")
+        self._records.insert(position, (item_id, size))
+
+    def remove(self, position: int) -> tuple[int, int]:
+        """Remove and return the record at ``position``."""
+        return self._records.pop(position)
+
+    def update_size(self, position: int, new_size: int) -> None:
+        item_id, _old = self._records[position]
+        if new_size < 0:
+            raise ValueError("record size must be non-negative")
+        self._records[position] = (item_id, new_size)
+
+    def item_id_at(self, position: int) -> int:
+        return self._records[position][0]
+
+    def size_at(self, position: int) -> int:
+        return self._records[position][1]
+
+    def position_of(self, item_id: int) -> int:
+        for position, (record_id, _size) in enumerate(self._records):
+            if record_id == item_id:
+                return position
+        raise KeyError(f"item {item_id} not in index")
+
+    def records(self) -> list[tuple[int, int]]:
+        return list(self._records)
+
+    def locate(self, offset: int) -> Located:
+        """Find the record containing byte ``offset`` (sequential scan)."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        accumulated = 0
+        for position, (item_id, size) in enumerate(self._records):
+            if offset < accumulated + size:
+                return Located(position=position, item_id=item_id,
+                               item_start=offset - accumulated,
+                               item_size=size)
+            accumulated += size
+        raise IndexError(f"offset {offset} beyond end of file "
+                         f"({accumulated} bytes)")

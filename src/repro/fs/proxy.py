@@ -1,0 +1,126 @@
+"""A local key proxy for multi-user clients (Section V).
+
+"If a client has many users sharing the same file system, the master keys
+(or control keys) may be stored in a shared local secure storage ...
+Alternatively, the client may designate a local proxy server to manage
+these keys.  When a user wants to operate on data, its request is
+redirected to the proxy, which will act on the user's behalf."
+
+:class:`KeyProxy` implements exactly that: it owns the
+:class:`~repro.fs.filesystem.OutsourcedFileSystem` (and hence the control
+keys) and exposes the file operations to named users under a simple
+grant-based authorisation policy.  Users never see key material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.errors import ReproError
+from repro.fs.filesystem import OutsourcedFile, OutsourcedFileSystem
+
+
+class PermissionError_(ReproError):
+    """A user attempted an operation it was not granted."""
+
+
+#: Grantable rights.
+READ = "read"
+WRITE = "write"
+DELETE = "delete"
+ALL_RIGHTS = frozenset({READ, WRITE, DELETE})
+
+
+@dataclass
+class _Grant:
+    rights: set[str] = field(default_factory=set)
+
+
+class KeyProxy:
+    """Per-user façade over a shared outsourced file system."""
+
+    def __init__(self, filesystem: OutsourcedFileSystem) -> None:
+        self._fs = filesystem
+        # user -> file name pattern ("*" or exact) -> rights
+        self._grants: dict[str, dict[str, _Grant]] = {}
+
+    # ------------------------------------------------------------------
+    # Administration
+    # ------------------------------------------------------------------
+
+    def grant(self, user: str, file_pattern: str,
+              rights: Sequence[str]) -> None:
+        """Grant ``rights`` on ``file_pattern`` ("*" = every file)."""
+        bad = set(rights) - ALL_RIGHTS
+        if bad:
+            raise ValueError(f"unknown rights: {sorted(bad)}")
+        grant = self._grants.setdefault(user, {}).setdefault(file_pattern,
+                                                             _Grant())
+        grant.rights.update(rights)
+
+    def revoke(self, user: str, file_pattern: str | None = None) -> None:
+        """Revoke a user's grants (all of them if no pattern given)."""
+        if file_pattern is None:
+            self._grants.pop(user, None)
+        else:
+            user_grants = self._grants.get(user, {})
+            user_grants.pop(file_pattern, None)
+
+    def _check(self, user: str, name: str, right: str) -> None:
+        user_grants = self._grants.get(user, {})
+        for pattern, grant in user_grants.items():
+            if pattern == "*" or pattern == name:
+                if right in grant.rights:
+                    return
+        raise PermissionError_(
+            f"user {user!r} lacks {right!r} on file {name!r}")
+
+    # ------------------------------------------------------------------
+    # Proxied operations
+    # ------------------------------------------------------------------
+
+    def _open(self, name: str) -> OutsourcedFile:
+        return self._fs.open(name)
+
+    def create_file(self, user: str, name: str,
+                    records: Sequence[bytes] = ()) -> None:
+        self._check_creation(user, name)
+        self._fs.create_file(name, records)
+        self.grant(user, name, list(ALL_RIGHTS))
+
+    def _check_creation(self, user: str, name: str) -> None:
+        # Creation is allowed for any user holding a wildcard WRITE grant,
+        # or any known user creating under their own namespace "user/...".
+        if name.split("/", 1)[0] == user:
+            return
+        try:
+            self._check(user, "*", WRITE)
+        except PermissionError_:
+            raise PermissionError_(
+                f"user {user!r} may only create files under {user}/") from None
+
+    def read_record(self, user: str, name: str, position: int) -> bytes:
+        self._check(user, name, READ)
+        return self._open(name).read_record(position)
+
+    def write_record(self, user: str, name: str, position: int,
+                     data: bytes) -> None:
+        self._check(user, name, WRITE)
+        self._open(name).write_record(position, data)
+
+    def append_record(self, user: str, name: str, data: bytes) -> int:
+        self._check(user, name, WRITE)
+        return self._open(name).append_record(data)
+
+    def delete_record(self, user: str, name: str, position: int) -> None:
+        self._check(user, name, DELETE)
+        self._open(name).delete_record(position)
+
+    def read_all(self, user: str, name: str) -> list[bytes]:
+        self._check(user, name, READ)
+        return self._open(name).read_all()
+
+    def delete_file(self, user: str, name: str) -> None:
+        self._check(user, name, DELETE)
+        self._fs.delete_file(name)

@@ -1,0 +1,25 @@
+"""Client/server protocol: typed messages, binary wire codec, accounting.
+
+The paper's communication-overhead metric (Section VI) counts "all
+information that the client receives and sends for an operation",
+excluding the data item itself when the operation fetches one.  To make
+those numbers exact rather than estimated, every message in this package
+serialises to real bytes (:mod:`repro.protocol.wire`), declares how many
+of its bytes are item payload (:meth:`Message.payload_bytes`), and flows
+through a channel (:mod:`repro.protocol.channel`) that meters both.
+"""
+
+from repro.protocol.channel import Channel, LoopbackChannel
+from repro.protocol.messages import Message, decode_message, encode_message
+from repro.protocol.wire import Reader, WireContext, Writer
+
+__all__ = [
+    "Channel",
+    "LoopbackChannel",
+    "Message",
+    "Reader",
+    "WireContext",
+    "Writer",
+    "decode_message",
+    "encode_message",
+]

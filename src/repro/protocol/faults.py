@@ -1,0 +1,81 @@
+"""Fault-injecting channel for distributed-systems failure testing.
+
+Wraps any transport and injects, deterministically from a seeded
+schedule:
+
+* **drops** -- the request never reaches the server (client sees
+  :class:`ChannelError`, models a timeout);
+* **response drops** -- the server processed the request but the reply is
+  lost (the nasty case: state changed, client does not know);
+* **duplicates** -- the request is delivered twice (models a retransmit
+  racing a slow reply).
+
+The tests in ``tests/protocol/test_faults.py`` pin down the library's
+recovery semantics under each fault: reads are always safely retryable,
+versioned commits are protected against duplicate application by the
+tree-version check, and a lost deletion ACK is safe to replay the whole
+deletion for (the challenge is re-requested, so the client never reuses
+stale cut data).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.errors import ReproError
+from repro.protocol.channel import Channel
+from repro.protocol.wire import WireContext
+from repro.sim.network import NetworkModel
+
+
+class ChannelError(ReproError):
+    """The request (or its response) was lost in transit."""
+
+
+#: Fault kinds understood by the schedule.
+DROP_REQUEST = "drop-request"
+DROP_RESPONSE = "drop-response"
+DUPLICATE = "duplicate"
+NONE = "none"
+
+_VALID = {DROP_REQUEST, DROP_RESPONSE, DUPLICATE, NONE}
+
+
+class FaultInjectingChannel(Channel):
+    """Delivers requests through ``inner`` according to a fault schedule.
+
+    ``schedule`` is any iterable of fault kinds; it is consumed one entry
+    per request and treated as :data:`NONE` once exhausted.
+    """
+
+    def __init__(self, server, schedule: Iterable[str],
+                 ctx: WireContext | None = None,
+                 network: NetworkModel | None = None) -> None:
+        if ctx is None:
+            ctx = getattr(server, "ctx", None)
+        if ctx is None:
+            raise ReproError("server does not expose a wire context")
+        super().__init__(ctx, network)
+        self._server = server
+        self._schedule: Iterator[str] = iter(schedule)
+        self.faults_injected: list[str] = []
+
+    def _next_fault(self) -> str:
+        fault = next(self._schedule, NONE)
+        if fault not in _VALID:
+            raise ValueError(f"unknown fault kind {fault!r}")
+        return fault
+
+    def _transport(self, request_bytes: bytes) -> bytes:
+        fault = self._next_fault()
+        if fault != NONE:
+            self.faults_injected.append(fault)
+        if fault == DROP_REQUEST:
+            raise ChannelError("request lost (timeout)")
+        if fault == DROP_RESPONSE:
+            self._server.handle_bytes(request_bytes)  # server DID act
+            raise ChannelError("response lost (timeout)")
+        if fault == DUPLICATE:
+            self._server.handle_bytes(request_bytes)  # shadow delivery
+            return self._server.handle_bytes(request_bytes)
+        return self._server.handle_bytes(request_bytes)

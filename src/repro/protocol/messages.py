@@ -1,0 +1,522 @@
+"""Typed protocol messages with exact binary encodings.
+
+Operations map to messages as follows (client -> server -> client):
+
+* outsource:  ``OutsourceRequest`` -> ``Ack``
+* access:     ``AccessRequest`` -> ``AccessReply``
+* modify:     ``AccessRequest`` -> ``AccessReply`` then
+              ``ModifyCommit`` -> ``Ack``
+* delete:     ``DeleteRequest`` -> ``DeleteChallenge`` then
+              ``DeleteCommit`` -> ``Ack``
+* insert:     ``InsertRequest`` -> ``InsertChallenge`` then
+              ``InsertCommit`` -> ``Ack``
+* whole file: ``FetchFileRequest`` -> ``FetchFileReply``
+* drop file:  ``DeleteFileRequest`` -> ``Ack``
+
+Any failure is an ``ErrorReply``.  ``payload_bytes()`` reports how many of
+a message's encoded bytes are item content (ciphertexts); the accounting
+layer subtracts them where the paper's overhead definition requires
+("the overhead does not include the data item itself").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional, Type
+
+from repro.core.errors import ProtocolError
+from repro.core.tree import BalanceView, CutEntry, MTView, PathView
+from repro.protocol.wire import Reader, WireContext, Writer
+
+# Error codes carried by ErrorReply.
+E_UNKNOWN_FILE = 1
+E_UNKNOWN_ITEM = 2
+E_DUPLICATE_MODULATOR = 3
+E_STALE_STATE = 4
+E_BAD_REQUEST = 5
+
+
+def _write_path(w: Writer, view: PathView) -> None:
+    w.u64_list(view.path_slots)
+    w.modulator_list(view.path_links)
+    w.modulator(view.leaf_mod)
+
+
+def _read_path(r: Reader) -> PathView:
+    slots = tuple(r.u64_list())
+    links = tuple(r.modulator_list())
+    leaf = r.modulator()
+    return PathView(path_slots=slots, path_links=links, leaf_mod=leaf)
+
+
+def _write_mt(w: Writer, view: MTView) -> None:
+    w.u64_list(view.path_slots)
+    w.modulator_list(view.path_links)
+    w.modulator(view.leaf_mod)
+    w.u32(len(view.cut))
+    for entry in view.cut:
+        w.u64(entry.slot)
+        w.modulator(entry.link_mod)
+        w.u8(1 if entry.is_leaf else 0)
+        if entry.is_leaf:
+            w.modulator(entry.leaf_mod)
+
+
+def _read_mt(r: Reader) -> MTView:
+    slots = tuple(r.u64_list())
+    links = tuple(r.modulator_list())
+    leaf = r.modulator()
+    cut = []
+    for _ in range(r.u32()):
+        slot = r.u64()
+        link_mod = r.modulator()
+        is_leaf = bool(r.u8())
+        leaf_mod = r.modulator() if is_leaf else None
+        cut.append(CutEntry(slot=slot, link_mod=link_mod, is_leaf=is_leaf,
+                            leaf_mod=leaf_mod))
+    return MTView(path_slots=slots, path_links=links, leaf_mod=leaf,
+                  cut=tuple(cut))
+
+
+def _write_balance(w: Writer, view: Optional[BalanceView]) -> None:
+    w.u8(1 if view is not None else 0)
+    if view is not None:
+        _write_path(w, view.t_path)
+        w.u64(view.s_slot)
+        w.modulator(view.s_link_mod)
+        w.modulator(view.s_leaf_mod)
+
+
+def _read_balance(r: Reader) -> Optional[BalanceView]:
+    if not r.u8():
+        return None
+    t_path = _read_path(r)
+    s_slot = r.u64()
+    s_link = r.modulator()
+    s_leaf = r.modulator()
+    return BalanceView(t_path=t_path, s_slot=s_slot, s_link_mod=s_link,
+                       s_leaf_mod=s_leaf)
+
+
+class Message:
+    """Base class: every message has a type tag and a body codec."""
+
+    TYPE: ClassVar[int] = 0
+
+    def encode_body(self, w: Writer) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "Message":
+        raise NotImplementedError
+
+    def payload_bytes(self) -> int:
+        """Encoded bytes attributable to item content (default: none)."""
+        return 0
+
+
+_REGISTRY: dict[int, Type[Message]] = {}
+
+
+def register(cls: Type[Message]) -> Type[Message]:
+    if cls.TYPE in _REGISTRY:
+        raise ValueError(f"duplicate message type {cls.TYPE}")
+    _REGISTRY[cls.TYPE] = cls
+    return cls
+
+
+def encode_message(ctx: WireContext, message: Message) -> bytes:
+    w = Writer(ctx)
+    w.u8(message.TYPE)
+    message.encode_body(w)
+    return w.getvalue()
+
+
+def decode_message(ctx: WireContext, data: bytes) -> Message:
+    r = Reader(ctx, data)
+    type_tag = r.u8()
+    cls = _REGISTRY.get(type_tag)
+    if cls is None:
+        raise ProtocolError(f"unknown message type {type_tag}")
+    message = cls.decode_body(r)
+    r.expect_end()
+    return message
+
+
+@register
+@dataclass(frozen=True)
+class Ack(Message):
+    """Generic success acknowledgement, echoing the new tree version."""
+
+    TYPE: ClassVar[int] = 1
+    tree_version: int = 0
+    item_id: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        w.u64(self.tree_version).u64(self.item_id)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "Ack":
+        return cls(tree_version=r.u64(), item_id=r.u64())
+
+
+@register
+@dataclass(frozen=True)
+class ErrorReply(Message):
+    """Failure reply with a machine-readable code."""
+
+    TYPE: ClassVar[int] = 2
+    code: int = 0
+    detail: str = ""
+
+    def encode_body(self, w: Writer) -> None:
+        w.u16(self.code).text(self.detail)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "ErrorReply":
+        return cls(code=r.u16(), detail=r.text())
+
+
+@register
+@dataclass(frozen=True)
+class OutsourceRequest(Message):
+    """Initial upload: the whole modulation tree plus all ciphertexts.
+
+    ``item_ids[i]`` and ``ciphertexts[i]`` belong to leaf slot ``n + i``;
+    ``links`` holds the link modulators for slots ``2 .. 2n-1`` and
+    ``leaves`` the leaf modulators for slots ``n .. 2n-1``, both in slot
+    order.
+    """
+
+    TYPE: ClassVar[int] = 3
+    file_id: int = 0
+    item_ids: tuple[int, ...] = ()
+    links: tuple[bytes, ...] = ()
+    leaves: tuple[bytes, ...] = ()
+    ciphertexts: tuple[bytes, ...] = ()
+
+    def encode_body(self, w: Writer) -> None:
+        w.u64(self.file_id)
+        w.u64_list(self.item_ids)
+        w.modulator_list(self.links)
+        w.modulator_list(self.leaves)
+        w.u32(len(self.ciphertexts))
+        for ciphertext in self.ciphertexts:
+            w.blob(ciphertext)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "OutsourceRequest":
+        file_id = r.u64()
+        item_ids = tuple(r.u64_list())
+        links = tuple(r.modulator_list())
+        leaves = tuple(r.modulator_list())
+        ciphertexts = tuple(r.blob() for _ in range(r.u32()))
+        return cls(file_id=file_id, item_ids=item_ids, links=links,
+                   leaves=leaves, ciphertexts=ciphertexts)
+
+    def payload_bytes(self) -> int:
+        return sum(4 + len(c) for c in self.ciphertexts)
+
+
+@register
+@dataclass(frozen=True)
+class AccessRequest(Message):
+    """Fetch one item (also the first half of a modification)."""
+
+    TYPE: ClassVar[int] = 4
+    file_id: int = 0
+    item_id: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        w.u64(self.file_id).u64(self.item_id)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "AccessRequest":
+        return cls(file_id=r.u64(), item_id=r.u64())
+
+
+@register
+@dataclass(frozen=True)
+class AccessReply(Message):
+    """Path modulators plus the ciphertext (Section IV-E access)."""
+
+    TYPE: ClassVar[int] = 5
+    path: PathView = None  # type: ignore[assignment]
+    ciphertext: bytes = b""
+    tree_version: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        _write_path(w, self.path)
+        w.blob(self.ciphertext)
+        w.u64(self.tree_version)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "AccessReply":
+        path = _read_path(r)
+        ciphertext = r.blob()
+        version = r.u64()
+        return cls(path=path, ciphertext=ciphertext, tree_version=version)
+
+    def payload_bytes(self) -> int:
+        return 4 + len(self.ciphertext)
+
+
+@register
+@dataclass(frozen=True)
+class ModifyCommit(Message):
+    """Second half of a modification: re-encrypted item under the same key."""
+
+    TYPE: ClassVar[int] = 6
+    file_id: int = 0
+    item_id: int = 0
+    ciphertext: bytes = b""
+    tree_version: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        w.u64(self.file_id).u64(self.item_id).blob(self.ciphertext)
+        w.u64(self.tree_version)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "ModifyCommit":
+        return cls(file_id=r.u64(), item_id=r.u64(), ciphertext=r.blob(),
+                   tree_version=r.u64())
+
+    def payload_bytes(self) -> int:
+        return 4 + len(self.ciphertext)
+
+
+@register
+@dataclass(frozen=True)
+class DeleteRequest(Message):
+    """Start a deletion: ask for ``MT(k)`` and the balancing view."""
+
+    TYPE: ClassVar[int] = 7
+    file_id: int = 0
+    item_id: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        w.u64(self.file_id).u64(self.item_id)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "DeleteRequest":
+        return cls(file_id=r.u64(), item_id=r.u64())
+
+
+@register
+@dataclass(frozen=True)
+class DeleteChallenge(Message):
+    """Server's deletion data: ``MT(k)``, the ciphertext, balancing view."""
+
+    TYPE: ClassVar[int] = 8
+    mt: MTView = None  # type: ignore[assignment]
+    ciphertext: bytes = b""
+    balance: Optional[BalanceView] = None
+    tree_version: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        _write_mt(w, self.mt)
+        w.blob(self.ciphertext)
+        _write_balance(w, self.balance)
+        w.u64(self.tree_version)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "DeleteChallenge":
+        mt = _read_mt(r)
+        ciphertext = r.blob()
+        balance = _read_balance(r)
+        version = r.u64()
+        return cls(mt=mt, ciphertext=ciphertext, balance=balance,
+                   tree_version=version)
+
+    def payload_bytes(self) -> int:
+        return 4 + len(self.ciphertext)
+
+
+@register
+@dataclass(frozen=True)
+class DeleteCommit(Message):
+    """Client's deltas and balancing modulators completing a deletion."""
+
+    TYPE: ClassVar[int] = 9
+    file_id: int = 0
+    item_id: int = 0
+    cut_slots: tuple[int, ...] = ()
+    deltas: tuple[bytes, ...] = ()
+    x_s_prime: Optional[bytes] = None
+    dest_link: Optional[bytes] = None
+    dest_leaf: Optional[bytes] = None
+    tree_version: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        w.u64(self.file_id).u64(self.item_id)
+        w.u64_list(self.cut_slots)
+        w.modulator_list(self.deltas)
+        w.opt_modulator(self.x_s_prime)
+        w.opt_modulator(self.dest_link)
+        w.opt_modulator(self.dest_leaf)
+        w.u64(self.tree_version)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "DeleteCommit":
+        return cls(file_id=r.u64(), item_id=r.u64(),
+                   cut_slots=tuple(r.u64_list()),
+                   deltas=tuple(r.modulator_list()),
+                   x_s_prime=r.opt_modulator(),
+                   dest_link=r.opt_modulator(),
+                   dest_leaf=r.opt_modulator(),
+                   tree_version=r.u64())
+
+
+@register
+@dataclass(frozen=True)
+class InsertRequest(Message):
+    """Start an insertion: ask for the path to the split leaf."""
+
+    TYPE: ClassVar[int] = 10
+    file_id: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        w.u64(self.file_id)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "InsertRequest":
+        return cls(file_id=r.u64())
+
+
+@register
+@dataclass(frozen=True)
+class InsertChallenge(Message):
+    """Path ``P(t')`` to the leaf the insertion will split (Fig. 4)."""
+
+    TYPE: ClassVar[int] = 11
+    path: Optional[PathView] = None
+    tree_version: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        w.u8(1 if self.path is not None else 0)
+        if self.path is not None:
+            _write_path(w, self.path)
+        w.u64(self.tree_version)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "InsertChallenge":
+        path = _read_path(r) if r.u8() else None
+        return cls(path=path, tree_version=r.u64())
+
+
+@register
+@dataclass(frozen=True)
+class InsertCommit(Message):
+    """Client's modulators and ciphertext completing an insertion."""
+
+    TYPE: ClassVar[int] = 12
+    file_id: int = 0
+    item_id: int = 0
+    t_new_link: Optional[bytes] = None
+    t_new_leaf: Optional[bytes] = None
+    e_link: Optional[bytes] = None
+    e_leaf: bytes = b""
+    ciphertext: bytes = b""
+    tree_version: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        w.u64(self.file_id).u64(self.item_id)
+        w.opt_modulator(self.t_new_link)
+        w.opt_modulator(self.t_new_leaf)
+        w.opt_modulator(self.e_link)
+        w.modulator(self.e_leaf)
+        w.blob(self.ciphertext)
+        w.u64(self.tree_version)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "InsertCommit":
+        return cls(file_id=r.u64(), item_id=r.u64(),
+                   t_new_link=r.opt_modulator(),
+                   t_new_leaf=r.opt_modulator(),
+                   e_link=r.opt_modulator(),
+                   e_leaf=r.modulator(),
+                   ciphertext=r.blob(),
+                   tree_version=r.u64())
+
+    def payload_bytes(self) -> int:
+        return 4 + len(self.ciphertext)
+
+
+@register
+@dataclass(frozen=True)
+class FetchFileRequest(Message):
+    """Fetch the whole file: every ciphertext plus the whole tree."""
+
+    TYPE: ClassVar[int] = 13
+    file_id: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        w.u64(self.file_id)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "FetchFileRequest":
+        return cls(file_id=r.u64())
+
+
+@register
+@dataclass(frozen=True)
+class FetchFileReply(Message):
+    """The whole tree (all modulators) and all ciphertexts.
+
+    ``item_ids[i]`` / ``ciphertexts[i]`` belong to leaf slot ``n + i``
+    (item-less leaves are impossible: every leaf encodes one item).
+    ``links``/``leaves`` are slot-ordered as in :class:`OutsourceRequest`.
+    """
+
+    TYPE: ClassVar[int] = 14
+    n_leaves: int = 0
+    item_ids: tuple[int, ...] = ()
+    links: tuple[bytes, ...] = ()
+    leaves: tuple[bytes, ...] = ()
+    ciphertexts: tuple[bytes, ...] = ()
+    tree_version: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        w.u64(self.n_leaves)
+        w.u64_list(self.item_ids)
+        w.modulator_list(self.links)
+        w.modulator_list(self.leaves)
+        w.u32(len(self.ciphertexts))
+        for ciphertext in self.ciphertexts:
+            w.blob(ciphertext)
+        w.u64(self.tree_version)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "FetchFileReply":
+        n_leaves = r.u64()
+        item_ids = tuple(r.u64_list())
+        links = tuple(r.modulator_list())
+        leaves = tuple(r.modulator_list())
+        ciphertexts = tuple(r.blob() for _ in range(r.u32()))
+        return cls(n_leaves=n_leaves, item_ids=item_ids, links=links,
+                   leaves=leaves, ciphertexts=ciphertexts,
+                   tree_version=r.u64())
+
+    def payload_bytes(self) -> int:
+        return sum(4 + len(c) for c in self.ciphertexts)
+
+
+@register
+@dataclass(frozen=True)
+class DeleteFileRequest(Message):
+    """Drop an entire file's server-side state.
+
+    On its own this is only best-effort space reclamation; *assured*
+    whole-file deletion comes from shredding the file's master key in the
+    meta modulation tree (Section V).
+    """
+
+    TYPE: ClassVar[int] = 15
+    file_id: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        w.u64(self.file_id)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "DeleteFileRequest":
+        return cls(file_id=r.u64())

@@ -1,0 +1,137 @@
+"""Deterministic binary wire codec.
+
+A tiny, explicit length-prefixed format: big-endian fixed-width integers,
+``u32``-length-prefixed byte strings, and flag-prefixed optionals.
+Modulators are written raw (their width is fixed per deployment and both
+sides know it), which matters because the paper's communication-overhead
+numbers are dominated by modulator traffic and must not be inflated by
+per-modulator framing.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class WireContext:
+    """Per-deployment constants the codec needs (modulator width)."""
+
+    modulator_width: int
+
+
+class Writer:
+    """Accumulates encoded fields into a byte buffer."""
+
+    def __init__(self, ctx: WireContext) -> None:
+        self.ctx = ctx
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> "Writer":
+        self._parts.append(struct.pack(">B", value))
+        return self
+
+    def u16(self, value: int) -> "Writer":
+        self._parts.append(struct.pack(">H", value))
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        self._parts.append(struct.pack(">I", value))
+        return self
+
+    def u64(self, value: int) -> "Writer":
+        self._parts.append(struct.pack(">Q", value))
+        return self
+
+    def blob(self, data: bytes) -> "Writer":
+        """A ``u32``-length-prefixed byte string."""
+        self._parts.append(struct.pack(">I", len(data)))
+        self._parts.append(bytes(data))
+        return self
+
+    def modulator(self, value: bytes) -> "Writer":
+        """A raw modulator of the deployment's fixed width."""
+        if len(value) != self.ctx.modulator_width:
+            raise ProtocolError(
+                f"modulator width {len(value)} != {self.ctx.modulator_width}")
+        self._parts.append(bytes(value))
+        return self
+
+    def opt_modulator(self, value: Optional[bytes]) -> "Writer":
+        self.u8(1 if value is not None else 0)
+        if value is not None:
+            self.modulator(value)
+        return self
+
+    def modulator_list(self, values: Sequence[bytes]) -> "Writer":
+        self.u32(len(values))
+        for value in values:
+            self.modulator(value)
+        return self
+
+    def u64_list(self, values: Sequence[int]) -> "Writer":
+        self.u32(len(values))
+        for value in values:
+            self.u64(value)
+        return self
+
+    def text(self, value: str) -> "Writer":
+        return self.blob(value.encode("utf-8"))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class Reader:
+    """Decodes fields from a byte buffer, tracking its position."""
+
+    def __init__(self, ctx: WireContext, data: bytes) -> None:
+        self.ctx = ctx
+        self._data = data
+        self._pos = 0
+
+    def _take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise ProtocolError("message truncated")
+        chunk = self._data[self._pos:self._pos + count]
+        self._pos += count
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack(">Q", self._take(8))[0]
+
+    def blob(self) -> bytes:
+        return self._take(self.u32())
+
+    def modulator(self) -> bytes:
+        return self._take(self.ctx.modulator_width)
+
+    def opt_modulator(self) -> Optional[bytes]:
+        return self.modulator() if self.u8() else None
+
+    def modulator_list(self) -> list[bytes]:
+        return [self.modulator() for _ in range(self.u32())]
+
+    def u64_list(self) -> list[int]:
+        return [self.u64() for _ in range(self.u32())]
+
+    def text(self) -> str:
+        return self.blob().decode("utf-8")
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._data):
+            raise ProtocolError(
+                f"{len(self._data) - self._pos} trailing bytes in message")

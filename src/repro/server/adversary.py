@@ -1,0 +1,156 @@
+"""Malicious-server variants for the Theorem 2 security experiments.
+
+The threat model gives the attacker full control of the server at all
+times, so "the server" may answer anything it likes.  Each class here
+implements one concrete cheating strategy from the paper's security
+analysis; the security test suite asserts that the client's refusal rules
+(decrypt-verification, item-id binding, structural checks, the
+duplicate-modulator rule) reject every one of them *before* the client
+emits any delta -- which is exactly what the proof of Theorem 2, case ii
+requires.
+
+* :class:`WrongLeafServer` -- answers a deletion request for item ``k``
+  with ``MT(k')`` of a different leaf, hoping the client kills ``k'``
+  while ``k`` survives a future key leak.
+* :class:`WrongCiphertextServer` -- correct ``MT(k)`` but another item's
+  ciphertext, defeated by decrypt-verification.
+* :class:`CloneCutServer` -- the Figure 7 attack: rewrites a cut link
+  modulator to equal its path sibling so a shadow leaf would share the
+  deleted key; necessarily produces a duplicate inside ``MT(k)``.
+* :class:`DuplicateInjectionServer` -- crudely duplicates arbitrary
+  modulators in the view.
+* :class:`DeltaSkippingServer` -- acknowledges the commit but never
+  applies the deltas.  This breaks *availability* of the surviving items
+  (out of scope for the paper: a malicious server can always destroy
+  data) but, as the tests show, cannot resurrect the deleted one.
+* :class:`ReplayServer` -- serves stale pre-deletion ciphertexts on
+  access, defeated by the item-id binding in the plaintext.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.tree import CutEntry, MTView
+from repro.protocol import messages as msg
+from repro.server.server import CloudServer
+
+
+class WrongLeafServer(CloudServer):
+    """Answers ``DeleteRequest(k)`` with the subtree of a different leaf."""
+
+    def _on_delete_request(self, request: msg.DeleteRequest) -> msg.Message:
+        state = self.file_state(request.file_id)
+        victim = None
+        for other_id in state.tree.item_ids():
+            if other_id != request.item_id:
+                victim = other_id
+                break
+        if victim is None:
+            return super()._on_delete_request(request)
+        # Send the other leaf's MT and *its* ciphertext: the chain output
+        # decrypts it, but the recovered item id exposes the substitution.
+        forged = msg.DeleteRequest(file_id=request.file_id, item_id=victim)
+        return super()._on_delete_request(forged)
+
+
+class WrongCiphertextServer(CloudServer):
+    """Correct ``MT(k)`` but a different item's ciphertext."""
+
+    def _on_delete_request(self, request: msg.DeleteRequest) -> msg.Message:
+        reply = super()._on_delete_request(request)
+        if not isinstance(reply, msg.DeleteChallenge):
+            return reply
+        state = self.file_state(request.file_id)
+        for other_id in state.tree.item_ids():
+            if other_id != request.item_id:
+                return replace(reply,
+                               ciphertext=state.ciphertexts.get(other_id))
+        return reply
+
+
+class CloneCutServer(CloudServer):
+    """The Figure 7 path-cloning attack.
+
+    To keep the deleted key alive under a shadow leaf, the modulators on
+    the shadow path must *equal* those of ``M_k`` -- in particular the cut
+    node's incoming link modulator must equal its sibling's, which is on
+    ``P(k)``.  Both are inside ``MT(k)``, so the client's distinctness
+    check fires.
+    """
+
+    #: Which cut depth to clone (0 = directly under the root).
+    clone_depth = 0
+
+    def _on_delete_request(self, request: msg.DeleteRequest) -> msg.Message:
+        reply = super()._on_delete_request(request)
+        if not isinstance(reply, msg.DeleteChallenge) or not reply.mt.cut:
+            return reply
+        depth = min(self.clone_depth, len(reply.mt.cut) - 1)
+        cloned = list(reply.mt.cut)
+        cloned[depth] = CutEntry(
+            slot=cloned[depth].slot,
+            link_mod=reply.mt.path_links[depth],  # equal to the path sibling
+            is_leaf=cloned[depth].is_leaf,
+            leaf_mod=cloned[depth].leaf_mod,
+        )
+        forged_mt = MTView(path_slots=reply.mt.path_slots,
+                           path_links=reply.mt.path_links,
+                           leaf_mod=reply.mt.leaf_mod, cut=tuple(cloned))
+        return replace(reply, mt=forged_mt)
+
+
+class DuplicateInjectionServer(CloudServer):
+    """Duplicates the leaf modulator into a cut entry's link slot."""
+
+    def _on_delete_request(self, request: msg.DeleteRequest) -> msg.Message:
+        reply = super()._on_delete_request(request)
+        if not isinstance(reply, msg.DeleteChallenge) or not reply.mt.cut:
+            return reply
+        tainted = list(reply.mt.cut)
+        last = tainted[-1]
+        tainted[-1] = CutEntry(slot=last.slot, link_mod=reply.mt.leaf_mod,
+                               is_leaf=last.is_leaf, leaf_mod=last.leaf_mod)
+        forged_mt = MTView(path_slots=reply.mt.path_slots,
+                           path_links=reply.mt.path_links,
+                           leaf_mod=reply.mt.leaf_mod, cut=tuple(tainted))
+        return replace(reply, mt=forged_mt)
+
+
+class DeltaSkippingServer(CloudServer):
+    """Acknowledges the deletion commit without applying anything."""
+
+    def _on_delete_commit(self, request: msg.DeleteCommit) -> msg.Message:
+        state = self.file_state(request.file_id)
+        # Drop the ciphertext (the visible effect) but keep every
+        # modulator untouched, hoping the old key material still works.
+        state.ciphertexts.delete(request.item_id)
+        state.version += 1
+        return msg.Ack(tree_version=state.version)
+
+
+class ReplayServer(CloudServer):
+    """Serves the first ciphertext it ever stored for each item."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._first_seen: dict[tuple[int, int], bytes] = {}
+
+    def _on_modify(self, request: msg.ModifyCommit) -> msg.Message:
+        key = (request.file_id, request.item_id)
+        if key not in self._first_seen:
+            state = self.file_state(request.file_id)
+            try:
+                self._first_seen[key] = state.ciphertexts.get(request.item_id)
+            except Exception:
+                pass
+        return super()._on_modify(request)
+
+    def _on_access(self, request: msg.AccessRequest) -> msg.Message:
+        reply = super()._on_access(request)
+        if not isinstance(reply, msg.AccessReply):
+            return reply
+        stale = self._first_seen.get((request.file_id, request.item_id))
+        if stale is not None:
+            return replace(reply, ciphertext=stale)
+        return reply

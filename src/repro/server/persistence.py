@@ -1,0 +1,129 @@
+"""Durable server state: save/load a :class:`CloudServer` to disk.
+
+The cloud's entire state per file is (modulation tree shape + modulators,
+item map, ciphertexts, version).  This module serialises it to a single
+explicit binary image -- the same wire primitives as the protocol, no
+pickle -- so server state survives restarts, can be copied between hosts,
+and (usefully for the threat model) represents exactly what a seized disk
+would yield.
+
+Format (all integers big-endian)::
+
+    magic "RPRV" | u16 version | u16 modulator width | u32 file count
+    per file:
+      u64 file id | u64 tree version | u64 n_leaves
+      links:  (2n-2) raw modulators (slot order 2..2n-1)
+      leaves: n raw modulators (slot order n..2n-1)
+      u32 item count | per item: u64 item id, u64 slot, u32 ct length, ct
+
+Only dense in-memory state is persisted; benchmark-scale lazy stores are
+ephemeral by design.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.core.errors import ProtocolError, UnknownItemError
+from repro.core.modstore import DenseModulatorStore
+from repro.core.params import Params
+from repro.core.tree import ModulationTree
+from repro.protocol.wire import Reader, WireContext, Writer
+from repro.server.server import CloudServer
+from repro.server.storage import InMemoryCiphertextStore
+
+_MAGIC = b"RPRV"
+_FORMAT_VERSION = 1
+
+
+def save_server(server: CloudServer, path: str) -> None:
+    """Write the server's complete state to ``path`` (atomic replace)."""
+    ctx = server.ctx
+    w = Writer(ctx)
+    w._parts.append(_MAGIC)  # noqa: SLF001 - header precedes framed fields
+    w.u16(_FORMAT_VERSION)
+    w.u16(ctx.modulator_width)
+
+    file_ids = sorted(fid for fid in _file_ids(server))
+    w.u32(len(file_ids))
+    for file_id in file_ids:
+        state = server.file_state(file_id)
+        tree = state.tree
+        n = tree.leaf_count
+        w.u64(file_id)
+        w.u64(state.version)
+        w.u64(n)
+        for kind, _slot, value in tree.iter_modulators():
+            w.modulator(value)
+
+        items = []
+        for slot in range(n, 2 * n):
+            item_id = tree.item_of_slot(slot)
+            if item_id is None:
+                continue
+            try:
+                ciphertext = state.ciphertexts.get(item_id)
+            except UnknownItemError:
+                continue
+            items.append((item_id, slot, ciphertext))
+        w.u32(len(items))
+        for item_id, slot, ciphertext in items:
+            w.u64(item_id)
+            w.u64(slot)
+            w.blob(ciphertext)
+
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(w.getvalue())
+    os.replace(tmp, path)
+
+
+def load_server(path: str, params: Params | None = None) -> CloudServer:
+    """Reconstruct a server from a state image written by :func:`save_server`."""
+    params = params if params is not None else Params()
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if data[:4] != _MAGIC:
+        raise ProtocolError("not a repro server state image")
+    reader = Reader(WireContext(modulator_width=params.modulator_size),
+                    data[4:])
+    version = reader.u16()
+    if version != _FORMAT_VERSION:
+        raise ProtocolError(f"unsupported state format version {version}")
+    width = reader.u16()
+    if width != params.modulator_size:
+        raise ProtocolError(
+            f"state image has {width}-byte modulators, parameters expect "
+            f"{params.modulator_size}")
+
+    server = CloudServer(params)
+    for _ in range(reader.u32()):
+        file_id = reader.u64()
+        tree_version = reader.u64()
+        n = reader.u64()
+
+        store = DenseModulatorStore(width)
+        for slot in range(2, 2 * n):
+            store.set_link(slot, reader.modulator())
+        for slot in range(n, 2 * n):
+            store.set_leaf(slot, reader.modulator())
+
+        tree = ModulationTree(store)
+        tree._n = n  # noqa: SLF001 - reconstruction path
+        ciphertexts = InMemoryCiphertextStore()
+        for _ in range(reader.u32()):
+            item_id = reader.u64()
+            slot = reader.u64()
+            ciphertext = reader.blob()
+            tree._map.set(item_id, slot)  # noqa: SLF001
+            ciphertexts.put(item_id, ciphertext)
+
+        server.adopt_file(file_id, tree, ciphertexts)
+        server.file_state(file_id).version = tree_version
+    reader.expect_end()
+    return server
+
+
+def _file_ids(server: CloudServer):
+    return list(server._files)  # noqa: SLF001 - persistence is a server peer

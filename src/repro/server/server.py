@@ -1,0 +1,341 @@
+"""The honest cloud server.
+
+The server stores, per file, a modulation tree (unencrypted, as the paper
+prescribes), the item ciphertexts, and a tree version counter used to
+detect interleaved updates between a challenge and its commit.  It also
+maintains a duplicate-modulator registry implementing the paper's
+server-side requirement that "all modulators in the tree should have
+different values ... the server should inform the client to re-perform
+the operation with a different modulator".
+
+The server never sees any key material: its entire deletion role is to
+ship ``MT(k)`` plus the balancing view, XOR the returned deltas into the
+cut's child modulators (Eqs. 6-7), and perform the structural moves.
+Everything security-critical is the client's verification; a *malicious*
+server is modelled separately in :mod:`repro.server.adversary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import ReproError, UnknownItemError
+from repro.core.params import Params
+from repro.core.tree import LINK, ModulationTree, WriteLog
+from repro.protocol import messages as msg
+from repro.protocol.wire import WireContext
+from repro.server.storage import CiphertextStore, InMemoryCiphertextStore
+
+
+@dataclass
+class ServerFile:
+    """Per-file server state.
+
+    ``replay_cache`` holds the digest of the last applied state-changing
+    commit and the Ack it produced: a retransmitted commit (duplicate
+    delivery, or a client retrying after a lost Ack) is answered from the
+    cache instead of being applied twice or rejected as stale -- standard
+    at-most-once execution for a two-phase exchange.
+    """
+
+    tree: ModulationTree
+    ciphertexts: CiphertextStore
+    version: int = 0
+    registry: Optional[dict[bytes, int]] = None
+    replay_cache: Optional[tuple[bytes, "msg.Ack"]] = None
+
+
+class CloudServer:
+    """Honest server implementing the full message protocol."""
+
+    def __init__(self, params: Params | None = None) -> None:
+        self.params = params if params is not None else Params()
+        self.ctx = WireContext(modulator_width=self.params.modulator_size)
+        self._files: dict[int, ServerFile] = {}
+
+    # ------------------------------------------------------------------
+    # Transport entry points
+    # ------------------------------------------------------------------
+
+    def handle_bytes(self, data: bytes) -> bytes:
+        """Decode a request, dispatch it, and encode the reply."""
+        request = msg.decode_message(self.ctx, data)
+        reply = self.handle(request)
+        return msg.encode_message(self.ctx, reply)
+
+    def handle(self, request: msg.Message) -> msg.Message:
+        """Dispatch one decoded request to its handler."""
+        handlers = {
+            msg.OutsourceRequest: self._on_outsource,
+            msg.AccessRequest: self._on_access,
+            msg.ModifyCommit: self._on_modify,
+            msg.DeleteRequest: self._on_delete_request,
+            msg.DeleteCommit: self._on_delete_commit,
+            msg.InsertRequest: self._on_insert_request,
+            msg.InsertCommit: self._on_insert_commit,
+            msg.FetchFileRequest: self._on_fetch_file,
+            msg.DeleteFileRequest: self._on_delete_file,
+        }
+        handler = handlers.get(type(request))
+        if handler is None:
+            return msg.ErrorReply(code=msg.E_BAD_REQUEST,
+                                  detail=f"unsupported request "
+                                         f"{type(request).__name__}")
+        try:
+            return handler(request)
+        except UnknownItemError as exc:
+            return msg.ErrorReply(code=msg.E_UNKNOWN_ITEM, detail=str(exc))
+        except ReproError as exc:
+            return msg.ErrorReply(code=msg.E_BAD_REQUEST, detail=str(exc))
+
+    # ------------------------------------------------------------------
+    # File adoption (used directly by benchmarks with lazy stores)
+    # ------------------------------------------------------------------
+
+    def adopt_file(self, file_id: int, tree: ModulationTree,
+                   ciphertexts: CiphertextStore, *,
+                   build_registry: Optional[bool] = None) -> None:
+        """Install a pre-built file, bypassing the outsourcing message.
+
+        ``build_registry`` defaults to the deployment parameter; pass
+        ``False`` for benchmark-scale lazily-seeded trees.
+        """
+        if build_registry is None:
+            build_registry = self.params.enforce_unique_modulators
+        registry = None
+        if build_registry:
+            registry = {}
+            for _kind, _slot, value in tree.iter_modulators():
+                registry[value] = registry.get(value, 0) + 1
+            if any(count > 1 for count in registry.values()):
+                raise ReproError("tree contains duplicate modulators")
+        self._files[file_id] = ServerFile(tree=tree, ciphertexts=ciphertexts,
+                                          registry=registry)
+
+    def file_state(self, file_id: int) -> ServerFile:
+        """Direct state access (benchmarks, adversary subclasses, tests)."""
+        state = self._files.get(file_id)
+        if state is None:
+            raise UnknownItemError(f"unknown file id {file_id}")
+        return state
+
+    def has_file(self, file_id: int) -> bool:
+        return file_id in self._files
+
+    # ------------------------------------------------------------------
+    # Registry helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _registry_apply(registry: dict[bytes, int], log: WriteLog) -> bool:
+        """Fold a write log into the registry; True if it stays duplicate-free."""
+        ok = True
+        for _kind, _slot, old, new in log:
+            if old is not None:
+                count = registry.get(old, 0) - 1
+                if count <= 0:
+                    registry.pop(old, None)
+                else:
+                    registry[old] = count
+            if new is not None:
+                count = registry.get(new, 0) + 1
+                registry[new] = count
+                if count > 1:
+                    ok = False
+        return ok
+
+    @staticmethod
+    def _registry_revert(registry: dict[bytes, int], log: WriteLog) -> None:
+        """Undo a previous :meth:`_registry_apply` for the same log."""
+        for _kind, _slot, old, new in reversed(log):
+            if new is not None:
+                count = registry.get(new, 0) - 1
+                if count <= 0:
+                    registry.pop(new, None)
+                else:
+                    registry[new] = count
+            if old is not None:
+                registry[old] = registry.get(old, 0) + 1
+
+    def _replay_digest(self, request: msg.Message) -> bytes:
+        from repro.crypto.sha1 import sha1
+        return sha1(msg.encode_message(self.ctx, request))
+
+    def _check_replay(self, state: ServerFile,
+                      request: msg.Message) -> Optional[msg.Ack]:
+        """Return the cached Ack if this exact commit was already applied."""
+        if state.replay_cache is None:
+            return None
+        digest, ack = state.replay_cache
+        if digest == self._replay_digest(request):
+            return ack
+        return None
+
+    def _remember_commit(self, state: ServerFile, request: msg.Message,
+                         ack: msg.Ack) -> None:
+        state.replay_cache = (self._replay_digest(request), ack)
+
+    def _fresh_values_clash(self, state: ServerFile,
+                            values: list[Optional[bytes]]) -> bool:
+        """Pre-check client-chosen modulators against the registry."""
+        if state.registry is None:
+            return False
+        present = [v for v in values if v is not None]
+        if len(set(present)) != len(present):
+            return True
+        return any(v in state.registry for v in present)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _on_outsource(self, request: msg.OutsourceRequest) -> msg.Message:
+        n = len(request.item_ids)
+        if len(request.ciphertexts) != n:
+            raise ReproError("one ciphertext per item required")
+        if len(request.links) != max(0, 2 * n - 2):
+            raise ReproError("wrong number of link modulators")
+        if len(request.leaves) != n:
+            raise ReproError("wrong number of leaf modulators")
+
+        from repro.core.modstore import DenseModulatorStore
+        store = DenseModulatorStore(self.params.modulator_size)
+        for i, link in enumerate(request.links):
+            store.set_link(2 + i, link)
+        for i, leaf in enumerate(request.leaves):
+            store.set_leaf(n + i, leaf)
+        tree = ModulationTree.adopt(store, n, list(request.item_ids))
+
+        ciphertexts = InMemoryCiphertextStore()
+        for item_id, ciphertext in zip(request.item_ids, request.ciphertexts):
+            ciphertexts.put(item_id, ciphertext)
+
+        try:
+            self.adopt_file(request.file_id, tree, ciphertexts)
+        except ReproError:
+            return msg.ErrorReply(code=msg.E_DUPLICATE_MODULATOR,
+                                  detail="outsourced tree has duplicate "
+                                         "modulators; re-randomise and retry")
+        return msg.Ack(tree_version=0)
+
+    def _on_access(self, request: msg.AccessRequest) -> msg.Message:
+        state = self.file_state(request.file_id)
+        slot = state.tree.slot_of_item(request.item_id)
+        return msg.AccessReply(path=state.tree.path_view(slot),
+                               ciphertext=state.ciphertexts.get(request.item_id),
+                               tree_version=state.version)
+
+    def _on_modify(self, request: msg.ModifyCommit) -> msg.Message:
+        state = self.file_state(request.file_id)
+        if request.tree_version != state.version:
+            return msg.ErrorReply(code=msg.E_STALE_STATE,
+                                  detail="tree changed since access")
+        state.tree.slot_of_item(request.item_id)  # existence check
+        state.ciphertexts.put(request.item_id, request.ciphertext)
+        return msg.Ack(tree_version=state.version)
+
+    def _on_delete_request(self, request: msg.DeleteRequest) -> msg.Message:
+        state = self.file_state(request.file_id)
+        slot = state.tree.slot_of_item(request.item_id)
+        return msg.DeleteChallenge(
+            mt=state.tree.mt_view(slot),
+            ciphertext=state.ciphertexts.get(request.item_id),
+            balance=state.tree.balance_view(),
+            tree_version=state.version,
+        )
+
+    def _on_delete_commit(self, request: msg.DeleteCommit) -> msg.Message:
+        state = self.file_state(request.file_id)
+        replayed = self._check_replay(state, request)
+        if replayed is not None:
+            return replayed
+        if request.tree_version != state.version:
+            return msg.ErrorReply(code=msg.E_STALE_STATE,
+                                  detail="tree changed since challenge")
+        tree = state.tree
+        slot = tree.slot_of_item(request.item_id)
+
+        expected_cut = tuple(s ^ 1 for s in tree.path_slots(slot)[1:])
+        if tuple(request.cut_slots) != expected_cut:
+            raise ReproError("cut slots do not match the item's path")
+
+        if self._fresh_values_clash(state, [request.x_s_prime,
+                                            request.dest_link,
+                                            request.dest_leaf]):
+            return msg.ErrorReply(code=msg.E_DUPLICATE_MODULATOR,
+                                  detail="balancing modulators collide; retry "
+                                         "with fresh randomness")
+
+        delta_log = tree.apply_deltas(list(request.cut_slots),
+                                      list(request.deltas))
+        if state.registry is not None:
+            if not self._registry_apply(state.registry, delta_log):
+                self._registry_revert(state.registry, delta_log)
+                tree.rollback(delta_log)
+                return msg.ErrorReply(code=msg.E_DUPLICATE_MODULATOR,
+                                      detail="delta application produced a "
+                                             "duplicate; retry with a new key")
+
+        structure_log = tree.delete_leaf(slot, request.x_s_prime,
+                                         request.dest_link, request.dest_leaf)
+        if state.registry is not None:
+            self._registry_apply(state.registry, structure_log)
+        state.ciphertexts.delete(request.item_id)
+        state.version += 1
+        ack = msg.Ack(tree_version=state.version)
+        self._remember_commit(state, request, ack)
+        return ack
+
+    def _on_insert_request(self, request: msg.InsertRequest) -> msg.Message:
+        state = self.file_state(request.file_id)
+        return msg.InsertChallenge(path=state.tree.insert_view(),
+                                   tree_version=state.version)
+
+    def _on_insert_commit(self, request: msg.InsertCommit) -> msg.Message:
+        state = self.file_state(request.file_id)
+        replayed = self._check_replay(state, request)
+        if replayed is not None:
+            return replayed
+        if request.tree_version != state.version:
+            return msg.ErrorReply(code=msg.E_STALE_STATE,
+                                  detail="tree changed since challenge")
+        if self._fresh_values_clash(state, [request.t_new_link,
+                                            request.t_new_leaf,
+                                            request.e_link, request.e_leaf]):
+            return msg.ErrorReply(code=msg.E_DUPLICATE_MODULATOR,
+                                  detail="insertion modulators collide; retry "
+                                         "with fresh randomness")
+        log = state.tree.insert_leaf(request.item_id, request.t_new_link,
+                                     request.t_new_leaf, request.e_link,
+                                     request.e_leaf)
+        if state.registry is not None:
+            self._registry_apply(state.registry, log)
+        state.ciphertexts.put(request.item_id, request.ciphertext)
+        state.version += 1
+        ack = msg.Ack(tree_version=state.version, item_id=request.item_id)
+        self._remember_commit(state, request, ack)
+        return ack
+
+    def _on_fetch_file(self, request: msg.FetchFileRequest) -> msg.Message:
+        state = self.file_state(request.file_id)
+        tree = state.tree
+        n = tree.leaf_count
+        links = []
+        leaves = []
+        for kind, _slot, value in tree.iter_modulators():
+            if kind == LINK:
+                links.append(value)
+            else:
+                leaves.append(value)
+        item_ids = tree.item_ids()
+        ciphertexts = tuple(state.ciphertexts.get(item_id)
+                            for item_id in item_ids)
+        return msg.FetchFileReply(n_leaves=n, item_ids=tuple(item_ids),
+                                  links=tuple(links), leaves=tuple(leaves),
+                                  ciphertexts=ciphertexts,
+                                  tree_version=state.version)
+
+    def _on_delete_file(self, request: msg.DeleteFileRequest) -> msg.Message:
+        self._files.pop(request.file_id, None)
+        return msg.Ack()

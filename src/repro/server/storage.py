@@ -1,0 +1,118 @@
+"""Ciphertext storage backends for the cloud server.
+
+The server stores one ciphertext per live item, keyed by item id.  Three
+backends share one interface:
+
+* :class:`InMemoryCiphertextStore` -- dict-backed, the default.
+* :class:`FileBackedCiphertextStore` -- one file per item under a
+  directory, for examples that want durable server state.
+* :class:`CallbackCiphertextStore` -- derives untouched ciphertexts from a
+  callback and keeps writes in an overlay.  Like the lazily-seeded
+  modulator store, it exists only so benchmarks can stand up 10^7-item
+  files without materialising tens of gigabytes; the callback emulates
+  what the client would have uploaded.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import Callable, Iterator
+
+from repro.core.errors import UnknownItemError
+
+
+class CiphertextStore(abc.ABC):
+    """Item-id addressed ciphertext storage."""
+
+    @abc.abstractmethod
+    def get(self, item_id: int) -> bytes:
+        """Return the ciphertext of ``item_id`` (raises UnknownItemError)."""
+
+    @abc.abstractmethod
+    def put(self, item_id: int, ciphertext: bytes) -> None:
+        """Store (or replace) the ciphertext of ``item_id``."""
+
+    @abc.abstractmethod
+    def delete(self, item_id: int) -> None:
+        """Discard the ciphertext of ``item_id`` (idempotent)."""
+
+
+class InMemoryCiphertextStore(CiphertextStore):
+    """Dict-backed store, the default for all functional use."""
+
+    def __init__(self) -> None:
+        self._items: dict[int, bytes] = {}
+
+    def get(self, item_id: int) -> bytes:
+        try:
+            return self._items[item_id]
+        except KeyError:
+            raise UnknownItemError(f"no ciphertext for item {item_id}") from None
+
+    def put(self, item_id: int, ciphertext: bytes) -> None:
+        self._items[item_id] = bytes(ciphertext)
+
+    def delete(self, item_id: int) -> None:
+        self._items.pop(item_id, None)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def item_ids(self) -> Iterator[int]:
+        return iter(self._items)
+
+
+class FileBackedCiphertextStore(CiphertextStore):
+    """One file per ciphertext under ``root`` (created if absent)."""
+
+    def __init__(self, root: str) -> None:
+        self._root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, item_id: int) -> str:
+        return os.path.join(self._root, f"{item_id:020d}.ct")
+
+    def get(self, item_id: int) -> bytes:
+        try:
+            with open(self._path(item_id), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            raise UnknownItemError(f"no ciphertext for item {item_id}") from None
+
+    def put(self, item_id: int, ciphertext: bytes) -> None:
+        path = self._path(item_id)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(ciphertext)
+        os.replace(tmp, path)
+
+    def delete(self, item_id: int) -> None:
+        try:
+            os.remove(self._path(item_id))
+        except FileNotFoundError:
+            pass
+
+
+class CallbackCiphertextStore(CiphertextStore):
+    """Benchmark-scale store deriving base ciphertexts from a callback."""
+
+    def __init__(self, derive: Callable[[int], bytes]) -> None:
+        self._derive = derive
+        self._overlay: dict[int, bytes] = {}
+        self._deleted: set[int] = set()
+
+    def get(self, item_id: int) -> bytes:
+        if item_id in self._deleted:
+            raise UnknownItemError(f"no ciphertext for item {item_id}")
+        if item_id in self._overlay:
+            return self._overlay[item_id]
+        return self._derive(item_id)
+
+    def put(self, item_id: int, ciphertext: bytes) -> None:
+        self._deleted.discard(item_id)
+        self._overlay[item_id] = bytes(ciphertext)
+
+    def delete(self, item_id: int) -> None:
+        self._overlay.pop(item_id, None)
+        self._deleted.add(item_id)

@@ -1,0 +1,7 @@
+"""Simulation substrate: metrics, network model, workloads, threat model."""
+
+from repro.sim.metrics import MetricsCollector, OpRecord
+from repro.sim.network import EC2_PROFILE, LAN_PROFILE, NetworkModel
+
+__all__ = ["EC2_PROFILE", "LAN_PROFILE", "MetricsCollector", "NetworkModel",
+           "OpRecord"]

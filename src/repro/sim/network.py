@@ -1,0 +1,39 @@
+"""Simple network cost model for the client <-> cloud link.
+
+The paper runs its client in a Gainesville lab against Amazon EC2 and
+explicitly does *not* measure end-to-end delay ("not unique to our
+approach but a consequence of using remote cloud storage").  The model
+here exists for the examples and for users who want wall-clock estimates:
+given measured protocol bytes it charges a per-message round-trip time
+plus serialisation at a fixed bandwidth, on a virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth parameters of the simulated link."""
+
+    rtt_seconds: float = 0.040
+    uplink_bytes_per_second: float = 12.5e6   # ~100 Mbit/s
+    downlink_bytes_per_second: float = 12.5e6
+
+    def round_trip_seconds(self, bytes_sent: int, bytes_received: int) -> float:
+        """Virtual time for one request/response exchange."""
+        return (self.rtt_seconds
+                + bytes_sent / self.uplink_bytes_per_second
+                + bytes_received / self.downlink_bytes_per_second)
+
+
+#: Rough profile of the paper's testbed link (campus to EC2).
+EC2_PROFILE = NetworkModel(rtt_seconds=0.045,
+                           uplink_bytes_per_second=6.25e6,
+                           downlink_bytes_per_second=12.5e6)
+
+#: Same-region datacenter link.
+LAN_PROFILE = NetworkModel(rtt_seconds=0.0005,
+                           uplink_bytes_per_second=125e6,
+                           downlink_bytes_per_second=125e6)

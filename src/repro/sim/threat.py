@@ -1,0 +1,141 @@
+"""The threat-model simulator (Section II-C).
+
+The adversary of the paper (1) controls the server at all times -- so it
+keeps *every* state the server ever held -- and (2) seizes the client
+device after the deletion time ``T`` -- so it holds every key present in
+the keystore at seizure.  This module makes that adversary executable:
+
+* :func:`snapshot_file` captures a server file's complete state (all
+  modulators, the item map, all ciphertexts) -- call it as often as you
+  like to model continuous compromise;
+* :class:`Adversary` accumulates snapshots plus a seized keystore and
+  runs the *recovery procedure*: for every (seized key, snapshot,
+  ciphertext version) combination, derive the item's chain output through
+  the honest key-modulation function and attempt decrypt-verification.
+
+The recovery procedure is exactly the polynomial-time derivation an
+attacker with the paper's assumed powers can run; Theorem 2 says it must
+fail for deleted items.  The *control* direction matters equally: the
+tests verify recovery SUCCEEDS for live items (the attacker with the
+device can read anything not deleted -- inherent, not a flaw) and for the
+broken baseline variants, which is what makes the negative result
+meaningful rather than vacuous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ciphertext import ItemCodec
+from repro.core.errors import IntegrityError
+from repro.core.modulated_chain import ChainEngine
+from repro.core.params import Params
+from repro.core.tree import ModulationTree
+from repro.server.server import CloudServer
+
+
+@dataclass(frozen=True)
+class FileSnapshot:
+    """Complete state of one server file at one instant."""
+
+    n_leaves: int
+    links: dict[int, bytes]
+    leaves: dict[int, bytes]
+    slot_of_item: dict[int, int]
+    ciphertexts: dict[int, bytes]
+
+    def modulator_list_for(self, item_id: int) -> list[bytes] | None:
+        """Reconstruct ``M_k`` for an item as of this snapshot."""
+        slot = self.slot_of_item.get(item_id)
+        if slot is None:
+            return None
+        modulators = []
+        for path_slot in ModulationTree.path_slots(slot)[1:]:
+            link = self.links.get(path_slot)
+            if link is None:
+                return None
+            modulators.append(link)
+        leaf = self.leaves.get(slot)
+        if leaf is None:
+            return None
+        modulators.append(leaf)
+        return modulators
+
+
+def snapshot_file(server: CloudServer, file_id: int) -> FileSnapshot:
+    """Capture everything the server currently holds for ``file_id``."""
+    state = server.file_state(file_id)
+    tree = state.tree
+    links: dict[int, bytes] = {}
+    leaves: dict[int, bytes] = {}
+    for kind, slot, value in tree.iter_modulators():
+        (links if kind == "link" else leaves)[slot] = value
+    from repro.core.errors import UnknownItemError
+    slot_of_item = {}
+    ciphertexts = {}
+    for item_id in tree.item_ids():
+        slot_of_item[item_id] = tree.slot_of_item(item_id)
+        try:
+            ciphertexts[item_id] = state.ciphertexts.get(item_id)
+        except UnknownItemError:
+            # A cheating server may have dropped a ciphertext while
+            # leaving the tree stale; the snapshot records what exists.
+            pass
+    return FileSnapshot(n_leaves=tree.leaf_count, links=links, leaves=leaves,
+                        slot_of_item=slot_of_item, ciphertexts=ciphertexts)
+
+
+@dataclass
+class Adversary:
+    """Everything the threat model grants, plus the recovery procedure."""
+
+    params: Params = field(default_factory=Params)
+    snapshots: list[FileSnapshot] = field(default_factory=list)
+    seized_keys: list[bytes] = field(default_factory=list)
+
+    def observe(self, snapshot: FileSnapshot) -> None:
+        """Record one server state (full server control, any time)."""
+        self.snapshots.append(snapshot)
+
+    def seize_keystore(self, keys: dict[str, bytes]) -> None:
+        """Record the device seizure after time ``T``."""
+        self.seized_keys.extend(keys.values())
+
+    def known_ciphertexts(self, item_id: int) -> list[bytes]:
+        """Every ciphertext version of ``item_id`` the server ever held."""
+        seen: list[bytes] = []
+        for snapshot in self.snapshots:
+            ciphertext = snapshot.ciphertexts.get(item_id)
+            if ciphertext is not None and ciphertext not in seen:
+                seen.append(ciphertext)
+        return seen
+
+    def try_recover(self, item_id: int) -> bytes | None:
+        """Run the full honest-derivation recovery attack on one item.
+
+        Tries every seized key against every recorded modulator list for
+        the item and every recorded ciphertext version.  Returns the
+        plaintext on success, ``None`` when the item is unrecoverable.
+        """
+        engine = ChainEngine(self.params.chain_hash)
+        codec = ItemCodec(self.params)
+
+        modulator_lists: list[list[bytes]] = []
+        for snapshot in self.snapshots:
+            modulators = snapshot.modulator_list_for(item_id)
+            if modulators is not None and modulators not in modulator_lists:
+                modulator_lists.append(modulators)
+
+        ciphertexts = self.known_ciphertexts(item_id)
+        for key in self.seized_keys:
+            for modulators in modulator_lists:
+                chain_output = engine.evaluate(key, modulators)
+                for ciphertext in ciphertexts:
+                    try:
+                        message, recovered = codec.decrypt(chain_output,
+                                                           ciphertext)
+                    except IntegrityError:
+                        continue
+                    if recovered == item_id:
+                        return message
+        return None

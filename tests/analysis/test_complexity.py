@@ -1,0 +1,53 @@
+"""The growth-law classifier and a fast end-to-end Table I check."""
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import (PAPER_CLAIMS, classify_growth,
+                                       measure_scaling)
+
+NS = [64, 256, 1024, 4096]
+
+
+def test_classifies_constant():
+    assert classify_growth(NS, [5.0, 5.0, 5.0, 5.0]) == "O(1)"
+    assert classify_growth(NS, [5.0, 5.2, 4.9, 5.1]) == "O(1)"  # noisy flat
+
+
+def test_classifies_logarithmic():
+    ys = [3 + 2 * math.log2(n) for n in NS]
+    assert classify_growth(NS, ys) == "O(log n)"
+
+
+def test_classifies_linear():
+    ys = [10 + 0.5 * n for n in NS]
+    assert classify_growth(NS, ys) == "O(n)"
+
+
+def test_classifies_noisy_log():
+    noise = [1.05, 0.96, 1.02, 0.99]
+    ys = [(3 + 2 * math.log2(n)) * f for n, f in zip(NS, noise)]
+    assert classify_growth(NS, ys) == "O(log n)"
+
+
+def test_zero_series_is_constant():
+    assert classify_growth(NS, [0.0] * 4) == "O(1)"
+
+
+def test_measured_byte_scaling_matches_paper_quickly():
+    """Byte counts are noise-free, so a small grid suffices in tests; the
+    full benchmark re-runs this with timing at larger sizes."""
+    grid = [16, 64, 256]
+    ours = measure_scaling("our-work", grid)
+    individual = measure_scaling("individual-key", grid)
+    master = measure_scaling("master-key", grid)
+
+    assert classify_growth(grid, [ours.comm_bytes[n] for n in grid]) == \
+        PAPER_CLAIMS["our-work"][1]
+    assert classify_growth(grid, [ours.storage_bytes[n] for n in grid]) == "O(1)"
+    assert classify_growth(grid, [individual.comm_bytes[n] for n in grid]) == "O(1)"
+    assert classify_growth(grid,
+                           [individual.storage_bytes[n] for n in grid]) == "O(n)"
+    assert classify_growth(grid, [master.comm_bytes[n] for n in grid]) == "O(n)"
+    assert classify_growth(grid, [master.storage_bytes[n] for n in grid]) == "O(1)"

@@ -1,0 +1,65 @@
+"""Fast sanity checks on the figure/table drivers (full runs live in
+benchmarks/)."""
+
+import pytest
+
+from repro.analysis.figures import (log_growth_ratio, render_figure5,
+                                    render_figure6, run_sweep)
+from repro.analysis.table2 import measure_individual_key, measure_our_work
+from repro.analysis.table3 import exact_comm_ratio, measure_ratios
+
+
+def test_sweep_small_grid():
+    result = run_sweep(grid=[10, 100, 1000], item_size=64)
+    for op in ("delete", "insert", "access"):
+        assert set(result.comm_bytes[op]) == {10, 100, 1000}
+        # Communication grows with n but far slower than linearly.
+        assert result.comm_bytes[op][1000] > result.comm_bytes[op][10]
+        assert result.comm_bytes[op][1000] < 10 * result.comm_bytes[op][10]
+        # Hash counts grow logarithmically too.
+        assert result.hash_calls[op][1000] > result.hash_calls[op][10]
+    text5 = render_figure5(result)
+    text6 = render_figure6(result)
+    assert "delete" in text5 and "1,000" in text5
+    assert "chain-hash" in text6
+
+
+def test_delete_dominates_access_in_bytes():
+    """Figure 5's ordering: delete > insert > access at every n."""
+    result = run_sweep(grid=[100, 1000], item_size=64)
+    for n in (100, 1000):
+        assert result.comm_bytes["delete"][n] > result.comm_bytes["insert"][n]
+        assert result.comm_bytes["insert"][n] > result.comm_bytes["access"][n]
+
+
+def test_log_growth_ratio():
+    log_like = {10: 10.0, 100: 12.0, 1000: 14.0, 10000: 16.0}
+    assert log_growth_ratio(log_like) == pytest.approx(0.2)
+    with pytest.raises(ValueError):
+        log_growth_ratio({10: 1.0, 100: 2.0})
+
+
+def test_table2_our_work_small():
+    row = measure_our_work(1000, item_size=256, samples=3)
+    assert row.storage_bytes == 16.0
+    assert 200 < row.comm_bytes < 4096
+    assert row.comp_seconds > 0
+
+
+def test_table2_individual_key_scaling():
+    row = measure_individual_key(100_000, measured_n=50, item_size=64)
+    assert row.storage_bytes == 100_000 * 16
+    assert row.comm_bytes < 60
+
+
+def test_table3_comm_ratio_exact_and_insensitive():
+    ratios = [exact_comm_ratio(n) for n in (1000, 10_000, 100_000, 1_000_000)]
+    for ratio in ratios:
+        assert 0.005 < ratio < 0.03  # ~1.5% with our 3-modulator framing
+    assert max(ratios) - min(ratios) < 1e-4
+
+
+def test_table3_measured_small():
+    row = measure_ratios(200, item_size=512)
+    assert 0 < row.comm_ratio < 0.25
+    assert 0 < row.comp_ratio < 1.0

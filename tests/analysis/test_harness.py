@@ -1,0 +1,73 @@
+"""The experiment harness: seeded files must behave like dense ones."""
+
+import pytest
+
+from repro.analysis.harness import (build_dense_file, build_seeded_file,
+                                    measure_ops)
+from repro.crypto.rng import DeterministicRandom
+
+
+def test_seeded_file_serves_valid_ciphertexts():
+    handle = build_seeded_file(32, 128, seed="h1")
+    for index in (0, 7, 31):
+        data = handle.scheme.access(handle.item_id(index))
+        assert len(data) == 128
+
+
+def test_seeded_file_operations_work():
+    handle = build_seeded_file(16, 64, seed="h2")
+    handle.scheme.delete(handle.item_id(3))
+    new_item = handle.scheme.insert(b"\x07" * 64)
+    assert handle.scheme.access(new_item) == b"\x07" * 64
+    assert len(handle.scheme.access(handle.item_id(4))) == 64
+    with pytest.raises(Exception):
+        handle.scheme.access(handle.item_id(3))
+
+
+@pytest.mark.parametrize("op", ["access", "insert", "delete"])
+def test_dense_and_lazy_per_op_costs_are_identical(op):
+    """The benchmark-scale substitution must not change what is measured:
+    bytes and hash counts depend only on tree depth."""
+    lazy = build_seeded_file(64, 96, seed="h-eq")
+    dense, _ids = build_dense_file(64, 96, seed="h-eq-d")
+    lazy_records = measure_ops(lazy, op, 5, DeterministicRandom("eq")).records
+    dense_records = measure_ops(dense, op, 5, DeterministicRandom("eq")).records
+    assert [r.overhead_bytes for r in lazy_records] == \
+        [r.overhead_bytes for r in dense_records]
+    assert [r.hash_calls for r in lazy_records] == \
+        [r.hash_calls for r in dense_records]
+
+
+def test_seeded_file_is_deterministic():
+    a = build_seeded_file(8, 32, seed="same")
+    b = build_seeded_file(8, 32, seed="same")
+    assert a.scheme.access(a.item_id(2)) == b.scheme.access(b.item_id(2))
+
+
+def test_ciphertexts_stay_valid_across_deletions():
+    """Theorem 1 through the lazy store: the callback derives ciphertexts
+    from the ORIGINAL key and modulators, which must keep decrypting as
+    the tree mutates underneath."""
+    handle = build_seeded_file(64, 32, seed="h3")
+    rng = DeterministicRandom("kill")
+    live = set(range(64))
+    for _ in range(20):
+        victim = sorted(live)[rng.below(len(live))]
+        live.discard(victim)
+        handle.scheme.delete(handle.item_id(victim))
+    for survivor in sorted(live)[:10]:
+        assert len(handle.scheme.access(handle.item_id(survivor))) == 32
+
+
+def test_item_id_bounds():
+    handle = build_seeded_file(4, 16, seed="h4")
+    with pytest.raises(IndexError):
+        handle.item_id(4)
+    with pytest.raises(IndexError):
+        handle.item_id(-1)
+
+
+def test_measure_ops_rejects_unknown_op():
+    handle = build_seeded_file(4, 16, seed="h5")
+    with pytest.raises(ValueError):
+        measure_ops(handle, "explode", 1, DeterministicRandom("x"))

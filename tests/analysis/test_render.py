@@ -1,0 +1,49 @@
+"""Plain-text rendering helpers."""
+
+import pytest
+
+from repro.analysis.render import (format_bytes, format_count, format_seconds,
+                                   render_series, render_table)
+
+
+def test_format_bytes():
+    assert format_bytes(16) == "16 B"
+    assert format_bytes(1536) == "1.50 KB"
+    assert format_bytes(391 * 1024 * 1024) == "391.00 MB"
+    assert format_bytes(3 * 1024 ** 4) == "3.00 TB"
+
+
+def test_format_seconds():
+    assert format_seconds(0.24e-3) == "240.0 us"
+    assert format_seconds(0.016) == "16.00 ms"
+    assert format_seconds(5.5 * 60) == "5.5 min"
+    assert format_seconds(2.0) == "2.00 s"
+
+
+def test_format_count():
+    assert format_count(100000) == "100,000"
+    assert format_count(1.5) == "1.5"
+
+
+def test_render_table_alignment():
+    table = render_table("Title", ["col-a", "b"],
+                         [["x", "1"], ["longer", "22"]])
+    lines = table.splitlines()
+    assert lines[0] == "Title"
+    assert "col-a" in lines[1]
+    assert len(lines) == 5
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all rows aligned
+
+
+def test_render_table_validates_width():
+    with pytest.raises(ValueError):
+        render_table("t", ["a", "b"], [["only-one"]])
+
+
+def test_render_series():
+    series = {"delete": {10: 100.0, 100: 200.0}, "access": {10: 50.0}}
+    text = render_series("Fig", "n", series)
+    assert "delete" in text and "access" in text
+    assert "100 B" in text
+    assert "-" in text  # missing access@100 rendered as dash

@@ -1,0 +1,84 @@
+"""The FADE-style third-party baseline and its failure modes."""
+
+import pytest
+
+from repro.baselines.ephemerizer import Ephemerizer, PolicyClient, PolicyCloud
+from repro.core.errors import KeyShreddedError
+from repro.crypto.rng import DeterministicRandom
+
+
+@pytest.fixture
+def deployment():
+    ephemerizer = Ephemerizer(DeterministicRandom("eph"))
+    cloud = PolicyCloud()
+    client = PolicyClient(ephemerizer, cloud,
+                          rng=DeterministicRandom("eph-client"))
+    return ephemerizer, cloud, client
+
+
+def test_outsource_and_access(deployment):
+    ephemerizer, _cloud, client = deployment
+    ephemerizer.create_policy("p1")
+    ids = client.outsource(1, "p1", [b"doc-a", b"doc-b"])
+    assert client.access(1, ids[0]) == b"doc-a"
+    assert client.access(1, ids[1]) == b"doc-b"
+
+
+def test_policy_revocation_kills_all_files_under_it(deployment):
+    ephemerizer, _cloud, client = deployment
+    ephemerizer.create_policy("p1")
+    ids1 = client.outsource(1, "p1", [b"file-1"])
+    ids2 = client.outsource(2, "p1", [b"file-2"])
+    client.delete_policy("p1")
+    with pytest.raises(KeyShreddedError):
+        client.access(1, ids1[0])
+    with pytest.raises(KeyShreddedError):
+        client.access(2, ids2[0])
+
+
+def test_fine_grained_deletion_degenerates_to_full_reencryption(deployment):
+    ephemerizer, cloud, client = deployment
+    ephemerizer.create_policy("p1")
+    ids = client.outsource(1, "p1", [b"item-%d" % i for i in range(6)])
+    before = cloud.get_file(1).ciphertexts.copy()
+
+    client.delete_item_via_repolicy(1, ids[2], "p1-v2")
+
+    after = cloud.get_file(1)
+    # Every surviving ciphertext was re-encrypted (all bytes changed).
+    assert set(after.ciphertexts) == set(before) - {ids[2]}
+    for item in after.ciphertexts:
+        assert after.ciphertexts[item] != before[item]
+    # Survivors readable, victim dead.
+    assert client.access(1, ids[3]) == b"item-3"
+    with pytest.raises(Exception):
+        client.access(1, ids[2])
+
+
+def test_third_party_compromise_voids_deletion(deployment):
+    """The paper's core argument against ephemerizers, executable."""
+    ephemerizer, cloud, client = deployment
+    ephemerizer.create_policy("p1")
+    ids = client.outsource(1, "p1", [b"super-secret"])
+
+    # The adversary compromises the third party *before* deletion and
+    # the cloud keeps an old snapshot (full server control).
+    stolen_policies = ephemerizer.compromise()
+    snapshot = cloud.snapshot()
+
+    client.delete_policy("p1")
+    with pytest.raises(KeyShreddedError):
+        client.access(1, ids[0])  # honest path is dead...
+
+    # ...but the attacker rebuilds everything from the stolen key.
+    from repro.core.ciphertext import ItemCodec
+    from repro.core.params import Params
+    from repro.crypto.modes import aes_ctr
+    stored = snapshot[1]
+    policy_key = stolen_policies["policy:p1"]
+    data_key = aes_ctr(policy_key, stored.wrapped_key[:8],
+                       stored.wrapped_key[8:])
+    codec = ItemCodec(Params())
+    padded = data_key.ljust(20, b"\x00")
+    message, _rid = codec.decrypt(padded, stored.ciphertexts[ids[0]])
+    assert message == b"super-secret"  # deletion was void

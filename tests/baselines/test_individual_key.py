@@ -1,0 +1,62 @@
+"""The individual-key baseline (Section III-B)."""
+
+import pytest
+
+from repro.baselines.base import BlobStoreServer
+from repro.baselines.individual_key import IndividualKeySolution
+from repro.core.errors import KeyShreddedError
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol.channel import LoopbackChannel
+
+
+@pytest.fixture
+def solution():
+    return IndividualKeySolution(LoopbackChannel(BlobStoreServer()),
+                                 rng=DeterministicRandom("ik-test"))
+
+
+def test_outsource_access(solution):
+    ids = solution.outsource([b"a", b"b", b"c"])
+    for item, value in zip(ids, [b"a", b"b", b"c"]):
+        assert solution.access(item) == value
+
+
+def test_storage_grows_linearly(solution):
+    solution.outsource([b"x"] * 25)
+    assert solution.client_storage_bytes() == 25 * 16
+    solution.insert(b"y")
+    assert solution.client_storage_bytes() == 26 * 16
+
+
+def test_delete_is_constant_and_local(solution):
+    ids = solution.outsource([b"item-%d" % i for i in range(20)])
+    solution.delete(ids[3])
+    record = solution.metrics.for_op("delete")[0]
+    assert record.total_bytes < 60  # one tiny request + ack
+    # Both sides refuse afterwards: the server no longer stores the
+    # ciphertext, and even with a snapshot the key is shredded locally.
+    with pytest.raises(Exception):
+        solution.access(ids[3])
+    with pytest.raises(KeyShreddedError):
+        solution.keystore.get(f"item:{ids[3]}")
+    assert solution.client_storage_bytes() == 19 * 16
+    assert solution.access(ids[4]) == b"item-4"
+
+
+def test_deletion_cost_independent_of_n():
+    costs = {}
+    for n in (8, 128):
+        scheme = IndividualKeySolution(LoopbackChannel(BlobStoreServer()),
+                                       rng=DeterministicRandom(f"ik-{n}"))
+        ids = scheme.outsource([bytes(32)] * n)
+        scheme.delete(ids[0])
+        costs[n] = scheme.metrics.for_op("delete")[0].total_bytes
+    assert costs[8] == costs[128]
+
+
+def test_keys_are_independent(solution):
+    """Leaking one item key reveals nothing about the others."""
+    ids = solution.outsource([b"a", b"b"])
+    key_a = solution.keystore.get(f"item:{ids[0]}")
+    key_b = solution.keystore.get(f"item:{ids[1]}")
+    assert key_a != key_b

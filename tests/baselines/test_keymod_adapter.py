@@ -1,0 +1,45 @@
+"""The adapter driving the paper's scheme through the baseline interface."""
+
+import pytest
+
+from repro.baselines.keymod import KeyModulationScheme
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol.channel import LoopbackChannel
+from repro.server.server import CloudServer
+
+
+@pytest.fixture
+def solution():
+    return KeyModulationScheme(LoopbackChannel(CloudServer()),
+                               rng=DeterministicRandom("km-test"))
+
+
+def test_uniform_interface(solution):
+    ids = solution.outsource([b"a", b"b", b"c"])
+    assert solution.access(ids[0]) == b"a"
+    new = solution.insert(b"d")
+    solution.delete(ids[1])
+    assert solution.access(new) == b"d"
+    assert solution.access(ids[2]) == b"c"
+    assert solution.client_storage_bytes() == 16
+
+
+def test_requires_outsourcing_first(solution):
+    with pytest.raises(RuntimeError):
+        solution.access(1)
+
+
+def test_master_key_tracked_across_deletes(solution):
+    ids = solution.outsource([b"x%d" % i for i in range(6)])
+    for item in ids[:4]:
+        solution.delete(item)
+    assert solution.access(ids[4]) == b"x4"
+    assert solution.access(ids[5]) == b"x5"
+
+
+def test_metrics_shared_with_inner_client(solution):
+    ids = solution.outsource([b"a", b"b"])
+    solution.delete(ids[0])
+    records = solution.metrics.for_op("delete")
+    assert len(records) == 1
+    assert records[0].hash_calls > 0

@@ -1,0 +1,75 @@
+"""The master-key baseline (Section III-A)."""
+
+import pytest
+
+from repro.baselines.base import BlobStoreServer
+from repro.baselines.master_key import MasterKeySolution
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol.channel import LoopbackChannel
+
+
+@pytest.fixture
+def solution():
+    return MasterKeySolution(LoopbackChannel(BlobStoreServer()),
+                             rng=DeterministicRandom("mk-test"))
+
+
+def test_outsource_access(solution):
+    ids = solution.outsource([b"a", b"b", b"c"])
+    assert solution.access(ids[1]) == b"b"
+
+
+def test_client_stores_exactly_one_key(solution):
+    solution.outsource([b"x"] * 50)
+    assert solution.client_storage_bytes() == 16
+
+
+def test_delete_reencrypts_everything(solution):
+    ids = solution.outsource([b"item-%d" % i for i in range(10)])
+    before = solution.channel.counters.snapshot()
+    solution.delete(ids[4])
+    delta = solution.channel.counters.delta(before)
+    # Nine items downloaded and nine uploaded.
+    assert delta.payload_received > 9 * 8
+    assert delta.payload_sent > 9 * 8
+    # Deleted item gone, the rest intact under the new key.
+    for i, item in enumerate(ids):
+        if i == 4:
+            with pytest.raises(Exception):
+                solution.access(item)
+        else:
+            assert solution.access(item) == b"item-%d" % i
+
+
+def test_delete_rotates_master_key(solution):
+    ids = solution.outsource([b"a", b"b"])
+    key_before = solution.keystore.get("master")
+    solution.delete(ids[0])
+    assert solution.keystore.get("master") != key_before
+
+
+def test_insert(solution):
+    solution.outsource([b"a"])
+    new = solution.insert(b"b")
+    assert solution.access(new) == b"b"
+
+
+def test_deletion_cost_scales_linearly(rng):
+    costs = {}
+    for n in (8, 64):
+        scheme = MasterKeySolution(LoopbackChannel(BlobStoreServer()),
+                                   rng=DeterministicRandom(f"lin-{n}"))
+        ids = scheme.outsource([bytes(64)] * n)
+        scheme.delete(ids[0])
+        costs[n] = scheme.metrics.for_op("delete")[0].total_bytes
+    assert costs[64] > 6 * costs[8]
+
+
+def test_broken_shortcut_keeps_key(solution):
+    ids = solution.outsource([b"secret", b"other"])
+    key_before = solution.keystore.get("master")
+    solution.delete_without_reencryption(ids[0])
+    assert solution.keystore.get("master") == key_before  # the flaw
+    with pytest.raises(Exception):
+        solution.access(ids[0])  # ciphertext gone from the honest server...
+    # ...but the security tests show a snapshot-keeping server recovers it.

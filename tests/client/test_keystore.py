@@ -1,0 +1,89 @@
+"""Key custody: storage, shredding, the global counter, and seizure."""
+
+import pytest
+
+from repro.client.keystore import KeyStore
+from repro.core.errors import KeyShreddedError
+
+
+def test_put_get():
+    store = KeyStore()
+    store.put("k", b"\x01" * 16)
+    assert store.get("k") == b"\x01" * 16
+    assert store.has("k")
+    assert not store.has("other")
+
+
+def test_replace():
+    store = KeyStore()
+    store.put("k", b"\x01" * 16)
+    store.put("k", b"\x02" * 16)
+    assert store.get("k") == b"\x02" * 16
+
+
+def test_missing_key():
+    with pytest.raises(KeyError):
+        KeyStore().get("nope")
+
+
+def test_shred_is_permanent_and_loud():
+    store = KeyStore()
+    store.put("k", b"\x01" * 16)
+    store.shred("k")
+    with pytest.raises(KeyShreddedError):
+        store.get("k")
+    assert not store.has("k")
+    store.shred("k")  # idempotent
+
+
+def test_put_after_shred_revives_slot():
+    store = KeyStore()
+    store.put("k", b"\x01" * 16)
+    store.shred("k")
+    store.put("k", b"\x02" * 16)
+    assert store.get("k") == b"\x02" * 16
+
+
+def test_shred_unknown_name_marks_it():
+    store = KeyStore()
+    store.shred("ghost")
+    with pytest.raises(KeyShreddedError):
+        store.get("ghost")
+
+
+def test_counter_is_monotonic():
+    store = KeyStore()
+    ids = [store.next_item_id() for _ in range(100)]
+    assert ids == sorted(set(ids))
+    assert store.counter == ids[-1] + 1
+
+
+def test_counter_start():
+    store = KeyStore(first_item_id=1000)
+    assert store.next_item_id() == 1000
+
+
+def test_key_bytes_stored():
+    store = KeyStore()
+    assert store.key_bytes_stored() == 0
+    store.put("a", b"\x01" * 16)
+    store.put("b", b"\x02" * 32)
+    assert store.key_bytes_stored() == 48
+    store.shred("a")
+    assert store.key_bytes_stored() == 32
+
+
+def test_seizure_reflects_current_state_only():
+    store = KeyStore()
+    store.put("live", b"\x01" * 16)
+    store.put("dead", b"\x02" * 16)
+    store.shred("dead")
+    seized = store.seize()
+    assert seized == {"live": b"\x01" * 16}
+
+
+def test_names():
+    store = KeyStore()
+    store.put("a", b"x")
+    store.put("b", b"y")
+    assert sorted(store.names()) == ["a", "b"]

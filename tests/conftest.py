@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import Params
+from repro.crypto.rng import DeterministicRandom
+
+
+@pytest.fixture
+def rng() -> DeterministicRandom:
+    """A fresh deterministic random source per test."""
+    return DeterministicRandom("test-fixture")
+
+
+@pytest.fixture
+def params() -> Params:
+    """The paper's parameters (SHA-1 chains, AES-128)."""
+    return Params()
+
+
+def make_scheme(seed: str = "scheme", params: Params | None = None):
+    """A LocalScheme with deterministic randomness (helper, not fixture)."""
+    from repro.core.scheme import LocalScheme
+    return LocalScheme(params=params, rng=DeterministicRandom(seed))
+
+
+@pytest.fixture
+def scheme():
+    return make_scheme()

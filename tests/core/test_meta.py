@@ -1,0 +1,94 @@
+"""The two-level meta modulation tree (Section V)."""
+
+import pytest
+
+from repro.client.client import AssuredDeletionClient
+from repro.core.errors import IntegrityError, UnknownItemError
+from repro.core.meta import (MetaKeyManager, decode_master_key_record,
+                             encode_master_key_record)
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol.channel import LoopbackChannel
+from repro.server.server import CloudServer
+
+
+@pytest.fixture
+def client():
+    server = CloudServer()
+    return AssuredDeletionClient(LoopbackChannel(server),
+                                 rng=DeterministicRandom("meta"),
+                                 store_keys=False)
+
+
+@pytest.fixture
+def manager(client):
+    manager = MetaKeyManager(client, meta_file_id=0, control_key_name="ctrl")
+    manager.initialize()
+    return manager
+
+
+def test_record_codec():
+    payload = encode_master_key_record(42, b"\x01" * 16)
+    assert decode_master_key_record(payload) == (42, b"\x01" * 16)
+    with pytest.raises(IntegrityError):
+        decode_master_key_record(payload[:-1])
+    with pytest.raises(IntegrityError):
+        decode_master_key_record(b"\x00" * 5)
+
+
+def test_register_and_fetch(manager, client):
+    key = b"\xaa" * 16
+    manager.register(7, key)
+    assert manager.master_key(7) == key
+    assert manager.managed_file_ids() == [7]
+
+
+def test_register_twice_rejected(manager):
+    manager.register(7, b"\x01" * 16)
+    with pytest.raises(IntegrityError):
+        manager.register(7, b"\x02" * 16)
+
+
+def test_unknown_file(manager):
+    with pytest.raises(UnknownItemError):
+        manager.master_key(99)
+    with pytest.raises(UnknownItemError):
+        manager.replace_master_key(99, b"\x00" * 16)
+    with pytest.raises(UnknownItemError):
+        manager.remove(99)
+
+
+def test_replace_rotates_control_key(manager, client):
+    manager.register(7, b"\x01" * 16)
+    control_before = client.keystore.get("ctrl")
+    manager.replace_master_key(7, b"\x02" * 16)
+    assert manager.master_key(7) == b"\x02" * 16
+    assert client.keystore.get("ctrl") != control_before
+
+
+def test_many_files(manager):
+    keys = {}
+    for fid in range(20):
+        key = bytes([fid]) * 16
+        manager.register(fid, key)
+        keys[fid] = key
+    for fid, key in keys.items():
+        assert manager.master_key(fid) == key
+    manager.remove(13)
+    with pytest.raises(UnknownItemError):
+        manager.master_key(13)
+    assert manager.master_key(12) == keys[12]
+
+
+def test_remove_rotates_control_key(manager, client):
+    manager.register(1, b"\x01" * 16)
+    manager.register(2, b"\x02" * 16)
+    before = client.keystore.get("ctrl")
+    manager.remove(1)
+    assert client.keystore.get("ctrl") != before
+    assert manager.master_key(2) == b"\x02" * 16
+
+
+def test_client_stores_only_the_control_key(manager, client):
+    for fid in range(10):
+        manager.register(fid, bytes([fid]) * 16)
+    assert client.keystore.key_bytes_stored() == 16  # one control key

@@ -1,0 +1,103 @@
+"""LocalScheme end-to-end behaviour over the real protocol."""
+
+import pytest
+
+from repro.core.errors import KeyShreddedError, UnknownItemError
+from tests.conftest import make_scheme
+
+
+def test_full_lifecycle(scheme):
+    items = [b"rec-%d" % i for i in range(12)]
+    fid, ids = scheme.new_file(items)
+
+    assert scheme.access(fid, ids[0]) == b"rec-0"
+    assert scheme.access(fid, ids[11]) == b"rec-11"
+
+    scheme.modify(fid, ids[4], b"rec-4-new")
+    assert scheme.access(fid, ids[4]) == b"rec-4-new"
+
+    new_id = scheme.insert(fid, b"inserted")
+    assert scheme.access(fid, new_id) == b"inserted"
+
+    scheme.delete(fid, ids[7])
+    with pytest.raises(UnknownItemError):
+        scheme.access(fid, ids[7])
+
+    data = scheme.fetch_file(fid)
+    assert len(data) == 12
+    assert data[ids[4]] == b"rec-4-new"
+    assert data[new_id] == b"inserted"
+    assert ids[7] not in data
+
+
+def test_empty_file(scheme):
+    fid, ids = scheme.new_file([])
+    assert ids == []
+    assert scheme.fetch_file(fid) == {}
+    item = scheme.insert(fid, b"first")
+    assert scheme.fetch_file(fid) == {item: b"first"}
+
+
+def test_delete_everything_then_reuse(scheme):
+    fid, ids = scheme.new_file([b"a", b"b", b"c"])
+    for item in ids:
+        scheme.delete(fid, item)
+    assert scheme.fetch_file(fid) == {}
+    new = scheme.insert(fid, b"reborn")
+    assert scheme.access(fid, new) == b"reborn"
+
+
+def test_many_files_are_independent(scheme):
+    fid1, ids1 = scheme.new_file([b"one-a", b"one-b"])
+    fid2, ids2 = scheme.new_file([b"two-a", b"two-b", b"two-c"])
+    scheme.delete(fid1, ids1[0])
+    assert scheme.fetch_file(fid2) == {ids2[0]: b"two-a", ids2[1]: b"two-b",
+                                       ids2[2]: b"two-c"}
+    assert scheme.fetch_file(fid1) == {ids1[1]: b"one-b"}
+
+
+def test_master_key_rotates_on_delete(scheme):
+    fid, ids = scheme.new_file([b"a", b"b"])
+    key_before = scheme._key(fid)
+    scheme.delete(fid, ids[0])
+    assert scheme._key(fid) != key_before
+
+
+def test_metrics_recorded_per_operation(scheme):
+    fid, ids = scheme.new_file([b"x"] )
+    scheme.access(fid, ids[0])
+    scheme.insert(fid, b"y")
+    ops = [r.op for r in scheme.metrics.records]
+    assert ops == ["outsource", "access", "insert"]
+    for record in scheme.metrics.records:
+        assert record.bytes_sent > 0
+        assert record.bytes_received > 0
+
+
+def test_soak_random_operations():
+    """A longer random workload keeps client and server consistent."""
+    scheme = make_scheme("soak")
+    import random
+    random.seed(7)
+    fid, ids = scheme.new_file([b"item-%d" % i for i in range(8)])
+    oracle = {item: b"item-%d" % i for i, item in enumerate(ids)}
+    for step in range(120):
+        action = random.choice(["access", "modify", "insert", "delete"])
+        if not oracle:
+            action = "insert"
+        if action == "access":
+            item = random.choice(sorted(oracle))
+            assert scheme.access(fid, item) == oracle[item]
+        elif action == "modify":
+            item = random.choice(sorted(oracle))
+            new_value = b"mod-%d" % step
+            scheme.modify(fid, item, new_value)
+            oracle[item] = new_value
+        elif action == "insert":
+            value = b"new-%d" % step
+            oracle[scheme.insert(fid, value)] = value
+        else:
+            item = random.choice(sorted(oracle))
+            scheme.delete(fid, item)
+            del oracle[item]
+    assert scheme.fetch_file(fid) == oracle

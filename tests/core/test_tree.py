@@ -1,0 +1,299 @@
+"""Modulation tree structure: slots, views, and structural transactions."""
+
+import pytest
+
+from repro.core.errors import StructureError, UnknownItemError
+from repro.core.modstore import LazySeededStore
+from repro.core.tree import (ArithmeticItemMap, ItemMap, ModulationTree)
+from repro.crypto.rng import DeterministicRandom
+
+WIDTH = 20
+
+
+def build(n, seed="tree"):
+    return ModulationTree.build_random(list(range(100, 100 + n)), WIDTH,
+                                       DeterministicRandom(seed))
+
+
+# ---------------------------------------------------------------------------
+# Shape
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 13])
+def test_heap_shape(n):
+    tree = build(n)
+    assert tree.leaf_count == n
+    for slot in range(1, 2 * n):
+        assert tree.is_leaf(slot) == (slot >= n)
+    with pytest.raises(StructureError):
+        tree.is_leaf(2 * n)
+    with pytest.raises(StructureError):
+        tree.is_leaf(0)
+
+
+def test_depth():
+    assert build(1).depth() == 0
+    assert build(2).depth() == 1
+    assert build(4).depth() == 2
+    assert build(5).depth() == 3
+    assert build(8).depth() == 3
+
+
+def test_path_slots():
+    assert ModulationTree.path_slots(1) == [1]
+    assert ModulationTree.path_slots(13) == [1, 3, 6, 13]
+
+
+def test_item_mapping():
+    tree = build(4)
+    assert tree.item_ids() == [100, 101, 102, 103]
+    assert tree.slot_of_item(100) == 4
+    assert tree.item_of_slot(7) == 103
+    with pytest.raises(UnknownItemError):
+        tree.slot_of_item(999)
+
+
+def test_modulator_count_and_transfer_size():
+    tree = build(6)
+    assert tree.modulator_count() == 16  # 2n-2 links + n leaves
+    assert tree.transfer_size_bytes() == 16 * WIDTH
+    assert sum(1 for _ in tree.iter_modulators()) == 16
+    assert build(0).modulator_count() == 0
+
+
+# ---------------------------------------------------------------------------
+# Views
+# ---------------------------------------------------------------------------
+
+def test_path_view():
+    tree = build(5)
+    view = tree.path_view(9)
+    assert view.path_slots == (1, 2, 4, 9)
+    assert len(view.path_links) == 3
+    assert view.leaf_slot == 9
+    assert len(view.modulator_list()) == 4
+    with pytest.raises(StructureError):
+        tree.path_view(2)  # internal slot
+
+
+def test_mt_view_cut_is_sibling_set():
+    tree = build(5)
+    mt = tree.mt_view(9)
+    assert [entry.slot for entry in mt.cut] == [3, 5, 8]
+    assert mt.cut[0].is_leaf is False  # slot 3 internal when n=5
+    assert mt.cut[1].is_leaf is True   # slot 5 is a leaf when n=5
+    assert mt.cut[2].is_leaf is True
+    assert mt.cut[2].leaf_mod is not None
+    # 3 path links + leaf of k + 3 cut links + 2 cut leaf modulators.
+    assert len(mt.all_modulators()) == 9
+
+
+def test_balance_view():
+    tree = build(5)
+    balance = tree.balance_view()
+    assert balance.t_path.leaf_slot == 9
+    assert balance.s_slot == 8
+    assert build(1).balance_view() is None
+    assert build(0).balance_view() is None
+
+
+def test_insert_view():
+    assert build(0).insert_view() is None
+    tree = build(5)
+    view = tree.insert_view()
+    assert view.leaf_slot == 5
+
+
+# ---------------------------------------------------------------------------
+# Mutations
+# ---------------------------------------------------------------------------
+
+def test_apply_deltas_internal_and_leaf(rng):
+    tree = build(5)
+    mt = tree.mt_view(9)
+    deltas = [rng.bytes(WIDTH) for _ in mt.cut]
+    before = {(kind, slot): value for kind, slot, value in tree.iter_modulators()}
+    log = tree.apply_deltas([entry.slot for entry in mt.cut], deltas)
+    # Internal cut nodes: both child links XORed; leaf cut node: leaf mod.
+    changed = {(kind, slot) for kind, slot, _old, _new in log}
+    assert ("link", 6) in changed and ("link", 7) in changed  # children of 3
+    assert ("leaf", 8) in changed  # leaf cut node
+    for kind, slot, old, new in log:
+        assert before[(kind, slot)] == old
+        assert old != new
+
+
+def test_apply_deltas_length_mismatch(rng):
+    tree = build(3)
+    with pytest.raises(StructureError):
+        tree.apply_deltas([2], [])
+
+
+def test_rollback_restores_values(rng):
+    tree = build(5)
+    before = list(tree.iter_modulators())
+    mt = tree.mt_view(9)
+    log = tree.apply_deltas([entry.slot for entry in mt.cut],
+                            [rng.bytes(WIDTH) for _ in mt.cut])
+    tree.rollback(log)
+    assert list(tree.iter_modulators()) == before
+
+
+def test_delete_only_leaf():
+    tree = build(1)
+    log = tree.delete_leaf(1, None, None, None)
+    assert tree.leaf_count == 0
+    assert tree.item_ids() == []
+    assert log[0][:2] == ("leaf", 1)
+
+
+def test_delete_last_leaf_k_equals_t(rng):
+    tree = build(3)  # leaves 3,4,5; t=5, s=4, p=2
+    x_s = rng.bytes(WIDTH)
+    tree.delete_leaf(5, x_s, None, None)
+    assert tree.leaf_count == 2
+    assert tree.store.get_leaf(2) == x_s
+    assert tree.item_ids() == [101, 100]  # slot order: 101 at 2, 100 at 3
+    assert tree.slot_of_item(101) == 2  # s moved to parent slot
+
+
+def test_delete_sibling_of_last_leaf_k_equals_s(rng):
+    tree = build(3)  # delete slot 4 (item 101); t=5 (item 102) -> slot 2
+    x_s, dest_leaf = rng.bytes(WIDTH), rng.bytes(WIDTH)
+    tree.delete_leaf(4, x_s, None, dest_leaf)
+    assert tree.leaf_count == 2
+    assert tree.item_ids() == [102, 100]  # slot order: 102 at 2, 100 at 3
+    assert tree.slot_of_item(102) == 2
+    assert tree.store.get_leaf(2) == dest_leaf
+
+
+def test_delete_general_leaf(rng):
+    tree = build(5)  # delete slot 5 (item 100); t=9 (item 104) -> slot 5
+    x_s, dest_link, dest_leaf = (rng.bytes(WIDTH) for _ in range(3))
+    tree.delete_leaf(5, x_s, dest_link, dest_leaf)
+    assert tree.leaf_count == 4
+    assert tree.slot_of_item(104) == 5
+    assert tree.store.get_link(5) == dest_link
+    assert tree.store.get_leaf(5) == dest_leaf
+    assert sorted(tree.item_ids()) == [101, 102, 103, 104]
+
+
+def test_delete_to_root_leaf(rng):
+    tree = build(2)  # delete slot 2 (k==s); t=3 moves to root
+    dest_leaf = rng.bytes(WIDTH)
+    tree.delete_leaf(2, rng.bytes(WIDTH), None, dest_leaf)
+    assert tree.leaf_count == 1
+    assert tree.slot_of_item(101) == 1
+    assert tree.store.get_leaf(1) == dest_leaf
+
+
+def test_delete_requires_balance_values(rng):
+    tree = build(3)
+    with pytest.raises(StructureError):
+        tree.delete_leaf(4, None, None, None)  # x_s' missing
+    with pytest.raises(StructureError):
+        tree.delete_leaf(4, rng.bytes(WIDTH), None, None)  # dest_leaf missing
+
+
+def test_delete_general_leaf_with_fresh_link_is_legal(rng):
+    tree = build(3)
+    tree.delete_leaf(3, rng.bytes(WIDTH), rng.bytes(WIDTH), rng.bytes(WIDTH))
+    assert tree.leaf_count == 2
+
+
+def test_insert_into_empty(rng):
+    tree = ModulationTree.build_random([], WIDTH, rng)
+    e_leaf = rng.bytes(WIDTH)
+    tree.insert_leaf(7, None, None, None, e_leaf)
+    assert tree.leaf_count == 1
+    assert tree.slot_of_item(7) == 1
+    assert tree.store.get_leaf(1) == e_leaf
+
+
+def test_insert_splits_first_leaf(rng):
+    tree = build(3)
+    values = [rng.bytes(WIDTH) for _ in range(4)]
+    tree.insert_leaf(200, *values)
+    assert tree.leaf_count == 4
+    assert tree.slot_of_item(100) == 6  # old slot-3 item moved to 2n
+    assert tree.slot_of_item(200) == 7
+    assert tree.store.get_link(6) == values[0]
+    assert tree.store.get_leaf(6) == values[1]
+    assert tree.store.get_link(7) == values[2]
+    assert tree.store.get_leaf(7) == values[3]
+
+
+def test_insert_requires_split_values(rng):
+    tree = build(2)
+    with pytest.raises(StructureError):
+        tree.insert_leaf(200, None, None, None, rng.bytes(WIDTH))
+
+
+def test_insert_duplicate_item_id(rng):
+    tree = build(2)
+    with pytest.raises(StructureError):
+        tree.insert_leaf(100, rng.bytes(WIDTH), rng.bytes(WIDTH),
+                         rng.bytes(WIDTH), rng.bytes(WIDTH))
+
+
+def test_delete_non_leaf_rejected(rng):
+    tree = build(4)
+    with pytest.raises(StructureError):
+        tree.delete_leaf(2, rng.bytes(WIDTH), None, None)
+
+
+# ---------------------------------------------------------------------------
+# Item maps
+# ---------------------------------------------------------------------------
+
+def test_item_map_basics():
+    mapping = ItemMap()
+    mapping.set(10, 4)
+    assert mapping.slot_of(10) == 4
+    assert mapping.item_at(4) == 10
+    mapping.move(10, 7)
+    assert mapping.slot_of(10) == 7
+    assert mapping.item_at(4) is None
+    mapping.remove(10)
+    assert mapping.slot_of(10) is None
+    assert not mapping.contains(10)
+
+
+def test_arithmetic_map_natural_layout():
+    mapping = ArithmeticItemMap(base_item_id=100, n0=8)
+    assert mapping.slot_of(100) == 8
+    assert mapping.slot_of(107) == 15
+    assert mapping.slot_of(108) is None
+    assert mapping.item_at(8) == 100
+    assert mapping.item_at(15) == 107
+    assert mapping.item_at(16) is None
+    assert mapping.contains(103)
+
+
+def test_arithmetic_map_overrides():
+    mapping = ArithmeticItemMap(base_item_id=100, n0=8)
+    mapping.move(107, 7)  # balancing move into the collapsed parent slot
+    assert mapping.slot_of(107) == 7
+    assert mapping.item_at(15) is None
+    assert mapping.item_at(7) == 107
+    mapping.remove(103)
+    assert mapping.slot_of(103) is None
+    assert mapping.item_at(11) is None
+    mapping.set(500, 11)
+    assert mapping.item_at(11) == 500
+    assert mapping.slot_of(500) == 11
+
+
+def test_adopt_arithmetic_equivalent_to_adopt():
+    rng_a = DeterministicRandom("adopt")
+    store = LazySeededStore(WIDTH, b"adopt")
+    tree = ModulationTree.adopt_arithmetic(store, 6, base_item_id=100)
+    assert tree.leaf_count == 6
+    assert tree.slot_of_item(102) == 8
+    assert tree.item_ids() == [100, 101, 102, 103, 104, 105]
+
+
+def test_adopt_validates_counts():
+    store = LazySeededStore(WIDTH, b"x")
+    with pytest.raises(ValueError):
+        ModulationTree.adopt(store, 3, [1, 2])

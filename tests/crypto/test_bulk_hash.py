@@ -1,0 +1,107 @@
+"""Vectorised SHA-1 batching against hashlib and the scalar path."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.bulk_hash import MIN_BATCH, sha1_many, xor_many
+from repro.crypto.prf import prf, prf_many
+from repro.crypto.rng import DeterministicRandom
+
+
+@pytest.mark.parametrize("count", [0, 1, 15, 16, 17, 100, 1000])
+def test_equal_length_batches_match_hashlib(count, rng):
+    messages = [rng.bytes(40) for _ in range(count)]
+    assert sha1_many(messages) == [hashlib.sha1(m).digest() for m in messages]
+
+
+@pytest.mark.parametrize("length", [0, 1, 55, 56, 57, 63, 64, 65, 119, 120,
+                                    128, 4096])
+def test_padding_boundaries(length, rng):
+    messages = [rng.bytes(length) for _ in range(20)]
+    assert sha1_many(messages) == [hashlib.sha1(m).digest() for m in messages]
+
+
+def test_mixed_lengths(rng):
+    messages = ([rng.bytes(20) for _ in range(30)]
+                + [rng.bytes(100) for _ in range(30)]
+                + [b"", b"x", rng.bytes(4104)])
+    rng.shuffle(messages)
+    assert sha1_many(messages) == [hashlib.sha1(m).digest() for m in messages]
+
+
+def test_small_batches_use_scalar_path(rng):
+    messages = [rng.bytes(32) for _ in range(MIN_BATCH - 1)]
+    assert sha1_many(messages) == [hashlib.sha1(m).digest() for m in messages]
+
+
+def test_xor_many(rng):
+    a = [rng.bytes(20) for _ in range(50)]
+    b = [rng.bytes(20) for _ in range(50)]
+    expected = [bytes(x ^ y for x, y in zip(p, q)) for p, q in zip(a, b)]
+    assert xor_many(a, b) == expected
+    assert xor_many([], []) == []
+    with pytest.raises(ValueError):
+        xor_many(a, b[:-1])
+    with pytest.raises(ValueError):
+        xor_many([b"\x00" * 20], [b"\x00" * 19])
+
+
+def test_prf_many_matches_scalar():
+    key = b"k" * 16
+    indices = list(range(100))
+    batched = prf_many(key, indices, length=20)
+    assert batched == [prf(key, i, length=20) for i in indices]
+
+
+def test_prf_many_long_key_and_small_batches():
+    key = b"K" * 100  # longer than the block size: pre-hashed
+    indices = [5, 6, 7]
+    assert prf_many(key, indices) == [prf(key, i) for i in indices]
+    indices = list(range(40))
+    assert prf_many(key, indices, length=16) == \
+        [prf(key, i, length=16) for i in indices]
+
+
+def test_step_many_matches_step(rng):
+    from repro.core.modulated_chain import ChainEngine
+    engine = ChainEngine()
+    values = [rng.bytes(20) for _ in range(64)]
+    modulators = [rng.bytes(20) for _ in range(64)]
+    before = engine.hash_calls
+    batched = engine.step_many(values, modulators)
+    assert engine.hash_calls - before == 64
+    assert batched == [ChainEngine().step(v, m)
+                       for v, m in zip(values, modulators)]
+    with pytest.raises(ValueError):
+        engine.step_many(values, modulators[:-1])
+
+
+def test_codec_batch_matches_scalar(rng):
+    from repro.core.ciphertext import ItemCodec
+    from repro.core.params import Params
+    codec = ItemCodec(Params())
+    outputs = [rng.bytes(20) for _ in range(40)]
+    messages = [rng.bytes(100) for _ in range(40)]
+    item_ids = list(range(1, 41))
+    nonces = [rng.bytes(8) for _ in range(40)]
+    batched = codec.encrypt_many(outputs, messages, item_ids, nonces)
+    scalar = [codec.encrypt(o, m, i, n)
+              for o, m, i, n in zip(outputs, messages, item_ids, nonces)]
+    assert batched == scalar
+    assert codec.decrypt_many(outputs, batched) == \
+        [(m, i) for m, i in zip(messages, item_ids)]
+
+
+def test_codec_batch_detects_tampering(rng):
+    from repro.core.ciphertext import ItemCodec
+    from repro.core.errors import IntegrityError
+    from repro.core.params import Params
+    codec = ItemCodec(Params())
+    outputs = [rng.bytes(20) for _ in range(20)]
+    ciphertexts = codec.encrypt_many(outputs, [b"m"] * 20, list(range(20)),
+                                     [rng.bytes(8) for _ in range(20)])
+    tampered = list(ciphertexts)
+    tampered[13] = tampered[13][:-1] + bytes([tampered[13][-1] ^ 1])
+    with pytest.raises(IntegrityError):
+        codec.decrypt_many(outputs, tampered)

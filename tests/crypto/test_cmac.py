@@ -1,0 +1,54 @@
+"""AES-CMAC against the RFC 4493 test vectors."""
+
+import pytest
+
+from repro.crypto.cmac import aes_cmac, aes_cmac_verify
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+M = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710")
+
+RFC4493 = [
+    (b"", "bb1d6929e95937287fa37d129b756746"),
+    (M[:16], "070a16b46b4d4144f79bdd9dd04a287c"),
+    (M[:40], "dfa66747de9ae63030ca32611497c827"),
+    (M, "51f0bebf7e3b9d92fc49741779363cfe"),
+]
+
+
+@pytest.mark.parametrize("message,expected", RFC4493,
+                         ids=["len0", "len16", "len40", "len64"])
+def test_rfc4493_vectors(message, expected):
+    assert aes_cmac(KEY, message).hex() == expected
+
+
+def test_verify(rng):
+    key = rng.bytes(16)
+    message = rng.bytes(100)
+    mac = aes_cmac(key, message)
+    assert aes_cmac_verify(key, message, mac)
+    assert not aes_cmac_verify(key, message + b"x", mac)
+    assert not aes_cmac_verify(rng.bytes(16), message, mac)
+
+
+def test_truncated_mac(rng):
+    key = rng.bytes(16)
+    mac = aes_cmac(key, b"msg", mac_length=12)
+    assert len(mac) == 12
+    assert aes_cmac_verify(key, b"msg", mac)
+
+
+def test_mac_length_validation():
+    with pytest.raises(ValueError):
+        aes_cmac(bytes(16), b"", mac_length=0)
+    with pytest.raises(ValueError):
+        aes_cmac(bytes(16), b"", mac_length=17)
+
+
+def test_distinct_messages_distinct_macs(rng):
+    key = rng.bytes(16)
+    macs = {aes_cmac(key, bytes([i]) * i) for i in range(1, 50)}
+    assert len(macs) == 49

@@ -1,0 +1,28 @@
+"""Constant-time comparison semantics."""
+
+import pytest
+
+from repro.crypto.ct import bytes_eq
+
+
+def test_equal():
+    assert bytes_eq(b"", b"")
+    assert bytes_eq(b"abc", b"abc")
+    assert bytes_eq(bytearray(b"abc"), b"abc")
+
+
+def test_unequal_content():
+    assert not bytes_eq(b"abc", b"abd")
+    assert not bytes_eq(b"\x00" * 20, b"\x00" * 19 + b"\x01")
+
+
+def test_unequal_length():
+    assert not bytes_eq(b"abc", b"abcd")
+    assert not bytes_eq(b"", b"a")
+
+
+def test_rejects_non_bytes():
+    with pytest.raises(TypeError):
+        bytes_eq("abc", b"abc")
+    with pytest.raises(TypeError):
+        bytes_eq(b"abc", 123)

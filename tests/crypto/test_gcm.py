@@ -1,0 +1,108 @@
+"""AES-GCM against the NIST GCM validation vectors."""
+
+import pytest
+
+from repro.core.errors import IntegrityError
+from repro.crypto.gcm import aes_gcm_decrypt, aes_gcm_encrypt
+
+
+def test_nist_case_1_empty():
+    """gcmEncryptExtIV128 count 0: empty plaintext, empty AAD."""
+    ciphertext, tag = aes_gcm_encrypt(bytes(16), bytes(12), b"")
+    assert ciphertext == b""
+    assert tag.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+
+def test_nist_case_2_single_block():
+    ciphertext, tag = aes_gcm_encrypt(bytes(16), bytes(12), bytes(16))
+    assert ciphertext.hex() == "0388dace60b6a392f328c2b971b2fe78"
+    assert tag.hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+
+def test_nist_case_3_four_blocks():
+    key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+    iv = bytes.fromhex("cafebabefacedbaddecaf888")
+    plaintext = bytes.fromhex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b391aafd255")
+    ciphertext, tag = aes_gcm_encrypt(key, iv, plaintext)
+    assert ciphertext.hex() == (
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091473f5985")
+    assert tag.hex() == "4d5c2af327cd64a62cf35abd2ba6fab4"
+
+
+def test_nist_case_4_with_aad():
+    key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+    iv = bytes.fromhex("cafebabefacedbaddecaf888")
+    plaintext = bytes.fromhex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39")
+    aad = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+    ciphertext, tag = aes_gcm_encrypt(key, iv, plaintext, aad)
+    assert ciphertext.hex() == (
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091")
+    assert tag.hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+    assert aes_gcm_decrypt(key, iv, ciphertext, tag, aad) == plaintext
+
+
+def test_nist_case_5_short_iv():
+    """Non-96-bit IVs go through the GHASH J0 derivation."""
+    key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+    iv = bytes.fromhex("cafebabefacedbad")
+    plaintext = bytes.fromhex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39")
+    aad = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+    ciphertext, tag = aes_gcm_encrypt(key, iv, plaintext, aad)
+    assert tag.hex() == "3612d2e79e3b0785561be14aaca2fccb"
+
+
+def test_roundtrip_various_sizes(rng):
+    key = rng.bytes(16)
+    for size in (0, 1, 15, 16, 17, 100, 1000):
+        iv = rng.bytes(12)
+        aad = rng.bytes(size % 33)
+        plaintext = rng.bytes(size)
+        ciphertext, tag = aes_gcm_encrypt(key, iv, plaintext, aad)
+        assert aes_gcm_decrypt(key, iv, ciphertext, tag, aad) == plaintext
+
+
+def test_tamper_detection(rng):
+    key, iv = rng.bytes(16), rng.bytes(12)
+    ciphertext, tag = aes_gcm_encrypt(key, iv, b"authenticated", b"aad")
+    with pytest.raises(IntegrityError):
+        aes_gcm_decrypt(key, iv, ciphertext, tag, b"other-aad")
+    with pytest.raises(IntegrityError):
+        bad = bytes([ciphertext[0] ^ 1]) + ciphertext[1:]
+        aes_gcm_decrypt(key, iv, bad, tag, b"aad")
+    with pytest.raises(IntegrityError):
+        bad_tag = bytes([tag[0] ^ 1]) + tag[1:]
+        aes_gcm_decrypt(key, iv, ciphertext, bad_tag, b"aad")
+
+
+def test_truncated_tags(rng):
+    key, iv = rng.bytes(16), rng.bytes(12)
+    ciphertext, tag = aes_gcm_encrypt(key, iv, b"data", tag_length=12)
+    assert len(tag) == 12
+    assert aes_gcm_decrypt(key, iv, ciphertext, tag) == b"data"
+
+
+def test_bad_arguments():
+    with pytest.raises(ValueError):
+        aes_gcm_encrypt(bytes(16), b"", b"x")
+    with pytest.raises(ValueError):
+        aes_gcm_encrypt(bytes(16), bytes(12), b"x", tag_length=8)
+    with pytest.raises(ValueError):
+        aes_gcm_decrypt(bytes(16), bytes(12), b"", b"short")

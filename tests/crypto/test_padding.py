@@ -1,0 +1,54 @@
+"""PKCS#7 padding behaviour and rejection of malformed padding."""
+
+import pytest
+
+from repro.crypto.padding import PaddingError, pad, unpad
+
+
+@pytest.mark.parametrize("size", range(0, 33))
+def test_roundtrip_every_phase(size):
+    data = bytes(range(size))
+    padded = pad(data)
+    assert len(padded) % 16 == 0
+    assert len(padded) > len(data)
+    assert unpad(padded) == data
+
+
+def test_full_block_of_padding_for_aligned_input():
+    padded = pad(b"\x00" * 16)
+    assert len(padded) == 32
+    assert padded[16:] == b"\x10" * 16
+
+
+def test_rejects_empty():
+    with pytest.raises(PaddingError):
+        unpad(b"")
+
+
+def test_rejects_unaligned():
+    with pytest.raises(PaddingError):
+        unpad(b"\x01" * 15)
+
+
+def test_rejects_zero_pad_byte():
+    with pytest.raises(PaddingError):
+        unpad(b"\x00" * 16)
+
+
+def test_rejects_oversized_pad_byte():
+    with pytest.raises(PaddingError):
+        unpad(b"\x00" * 15 + b"\x11")
+
+
+def test_rejects_inconsistent_padding():
+    block = b"\x00" * 13 + b"\x03\x03\x03"
+    assert unpad(block) == b"\x00" * 13  # valid 3-byte padding
+    with pytest.raises(PaddingError):
+        unpad(b"\x00" * 13 + b"\x02\x03\x03")
+
+
+def test_rejects_bad_block_size():
+    with pytest.raises(ValueError):
+        pad(b"x", 0)
+    with pytest.raises(ValueError):
+        unpad(b"x" * 16, 256)

@@ -1,0 +1,107 @@
+"""The multi-file outsourced file system with grouped control keys."""
+
+import pytest
+
+from repro.core.errors import ReproError, UnknownItemError
+from repro.crypto.rng import DeterministicRandom
+from repro.fs.filesystem import OutsourcedFileSystem, directory_group
+
+
+@pytest.fixture
+def fs():
+    return OutsourcedFileSystem(rng=DeterministicRandom("fs-test"))
+
+
+def test_directory_group():
+    assert directory_group("hr/roster.db") == "hr"
+    assert directory_group("/hr/sub/file") == "hr"
+    assert directory_group("flat-file") == ""
+
+
+def test_create_read_write(fs):
+    handle = fs.create_file("docs/a.txt", [b"one", b"two", b"three"])
+    assert handle.record_count == 3
+    assert handle.size_bytes == 11
+    assert handle.read_record(1) == b"two"
+    handle.write_record(1, b"TWO!")
+    assert handle.read_record(1) == b"TWO!"
+    assert handle.read_all() == [b"one", b"TWO!", b"three"]
+
+
+def test_duplicate_name_rejected(fs):
+    fs.create_file("x", [b"a"])
+    with pytest.raises(ReproError):
+        fs.create_file("x", [b"b"])
+
+
+def test_open_missing(fs):
+    with pytest.raises(UnknownItemError):
+        fs.open("ghost")
+
+
+def test_insert_and_delete_records(fs):
+    handle = fs.create_file("d/f", [b"a", b"c"])
+    handle.insert_record(1, b"b")
+    assert handle.read_all() == [b"a", b"b", b"c"]
+    handle.append_record(b"d")
+    assert handle.read_all() == [b"a", b"b", b"c", b"d"]
+    handle.delete_record(0)
+    assert handle.read_all() == [b"b", b"c", b"d"]
+    assert handle.record_count == 3
+
+
+def test_byte_offset_interface(fs):
+    handle = fs.create_file("d/f", [b"hello ", b"cruel ", b"world"])
+    assert handle.read_at(0, 17) == b"hello cruel world"
+    assert handle.read_at(6, 5) == b"cruel"
+    located = handle.locate(12)
+    assert located.item_id == handle._record.index.item_id_at(2)
+    handle.delete_at(7)  # deletes the record containing byte 7 ("cruel ")
+    assert handle.read_all() == [b"hello ", b"world"]
+
+
+def test_read_at_end_of_file(fs):
+    handle = fs.create_file("d/f", [b"abc"])
+    assert handle.read_at(1, 100) == b"bc"
+
+
+def test_groups_get_separate_control_keys(fs):
+    fs.create_file("hr/a", [b"x"])
+    fs.create_file("hr/b", [b"y"])
+    fs.create_file("mail/c", [b"z"])
+    assert fs.control_key_count() == 2
+    assert fs.client_key_bytes() == 32
+
+
+def test_client_storage_constant_in_file_count(fs):
+    for i in range(12):
+        fs.create_file(f"bulk/f{i}", [b"data"])
+    assert fs.client_key_bytes() == 16  # one group, one control key
+
+
+def test_delete_file_whole(fs):
+    fs.create_file("d/doomed", [b"secret-1", b"secret-2"])
+    fs.create_file("d/kept", [b"other"])
+    fs.delete_file("d/doomed")
+    assert fs.list_files() == ["d/kept"]
+    with pytest.raises(UnknownItemError):
+        fs.open("d/doomed")
+    assert fs.open("d/kept").read_record(0) == b"other"
+    with pytest.raises(UnknownItemError):
+        fs.delete_file("d/doomed")
+
+
+def test_delete_record_survives_master_key_rotation(fs):
+    handle = fs.create_file("d/f", [b"r%d" % i for i in range(10)])
+    for _ in range(4):
+        handle.delete_record(0)
+    assert handle.read_all() == [b"r%d" % i for i in range(4, 10)]
+    handle.write_record(0, b"r4-new")
+    assert handle.read_record(0) == b"r4-new"
+
+
+def test_empty_file_and_grow(fs):
+    handle = fs.create_file("d/empty")
+    assert handle.record_count == 0
+    handle.append_record(b"first")
+    assert handle.read_all() == [b"first"]

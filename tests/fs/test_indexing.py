@@ -1,0 +1,78 @@
+"""Logical record index and byte-offset resolution."""
+
+import pytest
+
+from repro.fs.indexing import ItemIndex
+
+
+@pytest.fixture
+def index():
+    idx = ItemIndex()
+    idx.append(10, 100)
+    idx.append(11, 50)
+    idx.append(12, 0)
+    idx.append(13, 25)
+    return idx
+
+
+def test_basic_accessors(index):
+    assert len(index) == 4
+    assert index.total_size == 175
+    assert index.item_id_at(1) == 11
+    assert index.size_at(1) == 50
+    assert index.position_of(13) == 3
+    assert index.records() == [(10, 100), (11, 50), (12, 0), (13, 25)]
+
+
+def test_locate_boundaries(index):
+    assert index.locate(0).item_id == 10
+    assert index.locate(99).item_id == 10
+    located = index.locate(100)
+    assert located.item_id == 11
+    assert located.offset_in_item == 0
+    assert index.locate(149).item_id == 11
+    # Zero-size record 12 can never contain an offset.
+    assert index.locate(150).item_id == 13
+    assert index.locate(174).item_id == 13
+
+
+def test_locate_out_of_range(index):
+    with pytest.raises(IndexError):
+        index.locate(175)
+    with pytest.raises(ValueError):
+        index.locate(-1)
+
+
+def test_insert_and_remove(index):
+    index.insert(1, 99, 10)
+    assert index.item_id_at(1) == 99
+    assert index.total_size == 185
+    removed = index.remove(1)
+    assert removed == (99, 10)
+    assert index.total_size == 175
+
+
+def test_insert_bounds(index):
+    with pytest.raises(IndexError):
+        index.insert(9, 1, 1)
+    index.insert(4, 1, 1)  # appending position is allowed
+
+
+def test_update_size(index):
+    index.update_size(0, 10)
+    assert index.total_size == 85
+    assert index.locate(10).item_id == 11
+
+
+def test_negative_sizes_rejected(index):
+    with pytest.raises(ValueError):
+        index.append(99, -1)
+    with pytest.raises(ValueError):
+        index.insert(0, 99, -1)
+    with pytest.raises(ValueError):
+        index.update_size(0, -5)
+
+
+def test_position_of_missing(index):
+    with pytest.raises(KeyError):
+        index.position_of(404)

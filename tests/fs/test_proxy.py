@@ -1,0 +1,85 @@
+"""The multi-user key proxy (Section V)."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.fs.filesystem import OutsourcedFileSystem
+from repro.fs.proxy import ALL_RIGHTS, DELETE, READ, WRITE, KeyProxy
+from repro.fs.proxy import PermissionError_
+
+
+@pytest.fixture
+def proxy():
+    fs = OutsourcedFileSystem(rng=DeterministicRandom("proxy-test"))
+    fs.create_file("shared/doc", [b"rec-a", b"rec-b"])
+    proxy = KeyProxy(fs)
+    proxy.grant("reader", "shared/doc", [READ])
+    proxy.grant("editor", "shared/doc", [READ, WRITE])
+    proxy.grant("admin", "*", list(ALL_RIGHTS))
+    return proxy
+
+
+def test_read_allowed(proxy):
+    assert proxy.read_record("reader", "shared/doc", 0) == b"rec-a"
+    assert proxy.read_all("reader", "shared/doc") == [b"rec-a", b"rec-b"]
+
+
+def test_write_denied_for_reader(proxy):
+    with pytest.raises(PermissionError_):
+        proxy.write_record("reader", "shared/doc", 0, b"nope")
+    with pytest.raises(PermissionError_):
+        proxy.delete_record("reader", "shared/doc", 0)
+
+
+def test_editor_can_write_not_delete(proxy):
+    proxy.write_record("editor", "shared/doc", 0, b"edited")
+    assert proxy.read_record("editor", "shared/doc", 0) == b"edited"
+    proxy.append_record("editor", "shared/doc", b"rec-c")
+    with pytest.raises(PermissionError_):
+        proxy.delete_record("editor", "shared/doc", 0)
+
+
+def test_wildcard_admin(proxy):
+    proxy.delete_record("admin", "shared/doc", 1)
+    assert proxy.read_all("admin", "shared/doc") == [b"rec-a"]
+    proxy.delete_file("admin", "shared/doc")
+    with pytest.raises(Exception):
+        proxy.read_all("admin", "shared/doc")
+
+
+def test_unknown_user_denied(proxy):
+    with pytest.raises(PermissionError_):
+        proxy.read_record("stranger", "shared/doc", 0)
+
+
+def test_revoke(proxy):
+    proxy.revoke("reader", "shared/doc")
+    with pytest.raises(PermissionError_):
+        proxy.read_record("reader", "shared/doc", 0)
+    proxy.grant("reader", "shared/doc", [READ])
+    proxy.revoke("reader")  # revoke everything
+    with pytest.raises(PermissionError_):
+        proxy.read_record("reader", "shared/doc", 0)
+
+
+def test_create_under_own_namespace(proxy):
+    proxy.create_file("alice", "alice/notes", [b"mine"])
+    assert proxy.read_record("alice", "alice/notes", 0) == b"mine"
+    with pytest.raises(PermissionError_):
+        proxy.create_file("alice", "bob/notes", [b"not-mine"])
+
+
+def test_admin_creates_anywhere(proxy):
+    proxy.create_file("admin", "anywhere/file", [b"x"])
+    assert proxy.read_record("admin", "anywhere/file", 0) == b"x"
+
+
+def test_creator_gets_full_rights(proxy):
+    proxy.create_file("alice", "alice/own", [b"a"])
+    proxy.write_record("alice", "alice/own", 0, b"b")
+    proxy.delete_record("alice", "alice/own", 0)
+
+
+def test_unknown_right_rejected(proxy):
+    with pytest.raises(ValueError):
+        proxy.grant("x", "*", ["fly"])

@@ -1,0 +1,62 @@
+"""Property-based tests for the modulated hash chain (Lemma 1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.modulated_chain import (ChainEngine, releaf_modulator,
+                                        rewrite_modulator, xor_bytes)
+
+modulators20 = st.binary(min_size=20, max_size=20)
+keys = st.binary(min_size=16, max_size=16)
+modulator_lists = st.lists(modulators20, min_size=1, max_size=12)
+
+
+@settings(max_examples=60)
+@given(keys, keys, modulator_lists, st.data())
+def test_lemma1_for_every_index(old_key, new_key, modulators, data):
+    """For any list and any index i, the Eq. 3 rewrite preserves F."""
+    engine = ChainEngine()
+    index = data.draw(st.integers(min_value=1, max_value=len(modulators)))
+    rewritten = list(modulators)
+    rewritten[index - 1] = rewrite_modulator(engine, old_key, new_key,
+                                             modulators, index)
+    assert engine.evaluate(new_key, rewritten) == \
+        engine.evaluate(old_key, modulators)
+
+
+@settings(max_examples=60)
+@given(keys, keys, modulator_lists)
+def test_key_change_without_rewrite_breaks_chain(old_key, new_key, modulators):
+    engine = ChainEngine()
+    if old_key == new_key:
+        return
+    assert engine.evaluate(new_key, modulators) != \
+        engine.evaluate(old_key, modulators)
+
+
+@settings(max_examples=60)
+@given(keys, modulator_lists)
+def test_prefix_values_are_consistent(key, modulators):
+    engine = ChainEngine()
+    prefixes = engine.prefix_values(key, modulators)
+    assert prefixes[0] == engine.pad_key(key)
+    for i in range(1, len(prefixes)):
+        assert prefixes[i] == engine.step(prefixes[i - 1], modulators[i - 1])
+
+
+@settings(max_examples=60)
+@given(modulators20, modulators20, modulators20)
+def test_releaf_identity(old_prefix, new_prefix, old_leaf):
+    engine = ChainEngine()
+    new_leaf = releaf_modulator(new_prefix, old_prefix, old_leaf)
+    assert engine.h(xor_bytes(new_prefix, new_leaf)) == \
+        engine.h(xor_bytes(old_prefix, old_leaf))
+
+
+@settings(max_examples=40)
+@given(keys, modulator_lists, modulators20)
+def test_extension_property(key, modulators, extra):
+    """F(K, M + <x>) == H(F(K, M) xor x): the chain is truly recursive."""
+    engine = ChainEngine()
+    assert engine.evaluate(key, modulators + [extra]) == \
+        engine.step(engine.evaluate(key, modulators), extra)

@@ -1,0 +1,77 @@
+"""Property test: random fault schedules never corrupt server state.
+
+Whatever pattern of request drops, response drops, and duplicate
+deliveries hits the channel, two things must survive:
+
+* items the client *confirmed* deleted (Ack received, or finalised via
+  ``resume_delete``) stay unrecoverable;
+* items never touched by a deletion stay readable under the client's
+  current keys.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.client.client import AssuredDeletionClient
+from repro.core.errors import ReproError
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol.faults import (DROP_REQUEST, DROP_RESPONSE, DUPLICATE,
+                                   NONE, ChannelError, FaultInjectingChannel)
+from repro.server.server import CloudServer
+from repro.sim.threat import Adversary, snapshot_file
+
+fault_kinds = st.sampled_from([NONE, NONE, NONE, DROP_REQUEST, DROP_RESPONSE,
+                               DUPLICATE])
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(schedule=st.lists(fault_kinds, max_size=12),
+       seed=st.integers(0, 2 ** 16))
+def test_faults_never_corrupt_or_resurrect(schedule, seed):
+    server = CloudServer()
+    channel = FaultInjectingChannel(server, iter([]))
+    client = AssuredDeletionClient(channel,
+                                   rng=DeterministicRandom(f"fp-{seed}"))
+    key = client.outsource(1, [b"item-%d" % i for i in range(6)])
+    ids = client.item_ids_of(6)
+    channel._schedule = iter(schedule)
+
+    adversary = Adversary()
+    adversary.observe(snapshot_file(server, 1))
+
+    confirmed_deleted = []
+    untouched = list(ids[3:])
+    for victim in ids[:3]:
+        try:
+            key = client.delete(1, key, victim)
+            confirmed_deleted.append(victim)
+        except ChannelError:
+            # Finalise through the journal; the replay cache makes this
+            # exactly-once whether or not the commit had landed.
+            try:
+                key = client.resume_delete(1, victim)
+                confirmed_deleted.append(victim)
+            except ChannelError:
+                pass  # still pending; deletion not confirmed, skip it
+            except ReproError:
+                pass
+        except ReproError:
+            pass
+        adversary.observe(snapshot_file(server, 1))
+
+    channel._schedule = iter([])  # calm network for the verdict phase
+
+    # Confirmed-deleted items are dead even against the full adversary.
+    adversary.seize_keystore(client.keystore.seize())
+    for victim in confirmed_deleted:
+        assert adversary.try_recover(victim) is None
+
+    # Untouched items remain readable with the client's current key --
+    # unless a deletion is still pending (its Ack carried the only proof
+    # of which key generation the server is on), in which case the
+    # client knows it is unresolved via pending_deletes().
+    if not client.pending_deletes():
+        for item in untouched:
+            assert client.access(1, key, item) == \
+                b"item-%d" % (ids.index(item))

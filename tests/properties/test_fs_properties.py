@@ -1,0 +1,99 @@
+"""Stateful property test for the two-level file system.
+
+Hypothesis drives random file-system operations (create, record
+read/write/insert/delete, whole-file delete) against a dict-of-lists
+oracle, verifying after every step that logical contents match and that
+client key storage stays at one control key per group regardless of how
+many files and records exist.
+"""
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, precondition, rule)
+
+from repro.crypto.rng import DeterministicRandom
+from repro.fs.filesystem import OutsourcedFileSystem
+
+payloads = st.binary(min_size=1, max_size=24)
+groups = st.sampled_from(["hr", "mail"])
+
+
+class FileSystemMachine(RuleBasedStateMachine):
+
+    @initialize(seed=st.integers(0, 2 ** 32))
+    def setup(self, seed):
+        self.fs = OutsourcedFileSystem(rng=DeterministicRandom(f"fsm-{seed}"))
+        self.oracle: dict[str, list[bytes]] = {}
+        self.created = 0
+
+    def _pick_file(self, data):
+        names = sorted(self.oracle)
+        return names[data.draw(st.integers(0, len(names) - 1))]
+
+    @rule(group=groups, records=st.lists(payloads, max_size=4))
+    def create_file(self, group, records):
+        name = f"{group}/file-{self.created}"
+        self.created += 1
+        self.fs.create_file(name, records)
+        self.oracle[name] = list(records)
+
+    @rule(data=st.data())
+    @precondition(lambda self: any(self.oracle.values()))
+    def read_record(self, data):
+        name = data.draw(st.sampled_from(
+            sorted(n for n, recs in self.oracle.items() if recs)))
+        position = data.draw(st.integers(0, len(self.oracle[name]) - 1))
+        assert self.fs.open(name).read_record(position) == \
+            self.oracle[name][position]
+
+    @rule(data=st.data(), value=payloads)
+    @precondition(lambda self: any(self.oracle.values()))
+    def write_record(self, data, value):
+        name = data.draw(st.sampled_from(
+            sorted(n for n, recs in self.oracle.items() if recs)))
+        position = data.draw(st.integers(0, len(self.oracle[name]) - 1))
+        self.fs.open(name).write_record(position, value)
+        self.oracle[name][position] = value
+
+    @rule(data=st.data(), value=payloads)
+    @precondition(lambda self: self.oracle)
+    def insert_record(self, data, value):
+        name = self._pick_file(data)
+        position = data.draw(st.integers(0, len(self.oracle[name])))
+        self.fs.open(name).insert_record(position, value)
+        self.oracle[name].insert(position, value)
+
+    @rule(data=st.data())
+    @precondition(lambda self: any(self.oracle.values()))
+    def delete_record(self, data):
+        name = data.draw(st.sampled_from(
+            sorted(n for n, recs in self.oracle.items() if recs)))
+        position = data.draw(st.integers(0, len(self.oracle[name]) - 1))
+        self.fs.open(name).delete_record(position)
+        del self.oracle[name][position]
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.oracle)
+    def delete_file(self, data):
+        name = self._pick_file(data)
+        self.fs.delete_file(name)
+        del self.oracle[name]
+
+    @invariant()
+    def contents_match_and_keys_stay_small(self):
+        if not hasattr(self, "fs"):
+            return
+        assert sorted(self.fs.list_files()) == sorted(self.oracle)
+        for name, records in self.oracle.items():
+            assert self.fs.open(name).read_all() == records
+        # One 16-byte control key per touched group, never more.
+        assert self.fs.client_key_bytes() == 16 * self.fs.control_key_count()
+        assert self.fs.control_key_count() <= 2
+
+
+FileSystemMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=10, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+TestFileSystem = FileSystemMachine.TestCase

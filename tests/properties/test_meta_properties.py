@@ -1,0 +1,78 @@
+"""Stateful property test for the meta key manager (Section V).
+
+Random register / fetch / replace / remove sequences against an oracle of
+master keys, with two standing invariants: every registered file's master
+key is retrievable bit-exact through the meta tree, and the client never
+holds more than the single control key.
+"""
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, precondition, rule)
+
+from repro.client.client import AssuredDeletionClient
+from repro.core.meta import MetaKeyManager
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol.channel import LoopbackChannel
+from repro.server.server import CloudServer
+
+keys16 = st.binary(min_size=16, max_size=16)
+
+
+class MetaKeyMachine(RuleBasedStateMachine):
+
+    @initialize(seed=st.integers(0, 2 ** 32))
+    def setup(self, seed):
+        server = CloudServer()
+        self.client = AssuredDeletionClient(
+            LoopbackChannel(server), rng=DeterministicRandom(f"meta-{seed}"),
+            store_keys=False)
+        self.manager = MetaKeyManager(self.client, meta_file_id=0,
+                                      control_key_name="ctrl")
+        self.manager.initialize()
+        self.oracle: dict[int, bytes] = {}
+        self.next_file = 100
+
+    @rule(key=keys16)
+    def register(self, key):
+        file_id = self.next_file
+        self.next_file += 1
+        self.manager.register(file_id, key)
+        self.oracle[file_id] = key
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.oracle)
+    def fetch(self, data):
+        file_id = data.draw(st.sampled_from(sorted(self.oracle)))
+        assert self.manager.master_key(file_id) == self.oracle[file_id]
+
+    @rule(data=st.data(), new_key=keys16)
+    @precondition(lambda self: self.oracle)
+    def replace(self, data, new_key):
+        file_id = data.draw(st.sampled_from(sorted(self.oracle)))
+        self.manager.replace_master_key(file_id, new_key)
+        self.oracle[file_id] = new_key
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.oracle)
+    def remove(self, data):
+        file_id = data.draw(st.sampled_from(sorted(self.oracle)))
+        self.manager.remove(file_id)
+        del self.oracle[file_id]
+
+    @invariant()
+    def all_keys_retrievable_and_client_holds_one_key(self):
+        if not hasattr(self, "manager"):
+            return
+        assert self.manager.managed_file_ids() == sorted(self.oracle)
+        for file_id, key in self.oracle.items():
+            assert self.manager.master_key(file_id) == key
+        assert self.client.keystore.key_bytes_stored() == 16
+
+
+MetaKeyMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=10, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+TestMetaKeyManager = MetaKeyMachine.TestCase

@@ -1,0 +1,88 @@
+"""Stateful property test: random operation sequences on the real stack.
+
+Hypothesis drives an arbitrary interleaving of outsource / access /
+modify / insert / delete against a plain-dict oracle.  Two invariants
+must hold at every step:
+
+* Theorem 1 -- every live item decrypts to its oracle value (surviving
+  data keys never move), and
+* Theorem 2 -- the full-power adversary (continuous server snapshots,
+  keystore seized *now*) recovers no deleted item.
+"""
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, precondition, rule)
+
+from repro.core.scheme import LocalScheme
+from repro.crypto.rng import DeterministicRandom
+from repro.sim.threat import Adversary, snapshot_file
+
+payloads = st.binary(max_size=40)
+
+
+class AssuredDeletionMachine(RuleBasedStateMachine):
+
+    @initialize(initial=st.lists(payloads, max_size=6), seed=st.integers(0, 2 ** 32))
+    def setup(self, initial, seed):
+        self.scheme = LocalScheme(rng=DeterministicRandom(f"state-{seed}"))
+        self.fid, ids = self.scheme.new_file(initial)
+        self.oracle = dict(zip(ids, initial))
+        self.deleted: dict[int, bytes] = {}
+        self.adversary = Adversary()
+        self._observe()
+
+    def _observe(self):
+        self.adversary.observe(snapshot_file(self.scheme.server, self.fid))
+
+    def _pick_live(self, data):
+        items = sorted(self.oracle)
+        return items[data.draw(st.integers(0, len(items) - 1))]
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.oracle)
+    def access(self, data):
+        item = self._pick_live(data)
+        assert self.scheme.access(self.fid, item) == self.oracle[item]
+        self._observe()
+
+    @rule(data=st.data(), value=payloads)
+    @precondition(lambda self: self.oracle)
+    def modify(self, data, value):
+        item = self._pick_live(data)
+        self.scheme.modify(self.fid, item, value)
+        self.oracle[item] = value
+        self._observe()
+
+    @rule(value=payloads)
+    def insert(self, value):
+        item = self.scheme.insert(self.fid, value)
+        self.oracle[item] = value
+        self._observe()
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.oracle)
+    def delete(self, data):
+        item = self._pick_live(data)
+        self.scheme.delete(self.fid, item)
+        self.deleted[item] = self.oracle.pop(item)
+        self._observe()
+
+    @invariant()
+    def live_items_decrypt_and_deleted_stay_dead(self):
+        if not hasattr(self, "scheme"):
+            return
+        assert self.scheme.fetch_file(self.fid) == self.oracle
+        if self.deleted:
+            adversary = Adversary(snapshots=list(self.adversary.snapshots))
+            adversary.seize_keystore(self.scheme.client.keystore.seize())
+            for item in self.deleted:
+                assert adversary.try_recover(item) is None
+
+
+AssuredDeletionMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+TestAssuredDeletion = AssuredDeletionMachine.TestCase

@@ -1,0 +1,75 @@
+"""Fuzzing the wire codec: arbitrary values roundtrip; garbage never
+crashes with anything but ProtocolError."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ProtocolError, ReproError
+from repro.protocol import messages as msg
+from repro.protocol.wire import Reader, WireContext, Writer
+
+CTX = WireContext(modulator_width=20)
+modulators = st.binary(min_size=20, max_size=20)
+
+
+@settings(max_examples=50,
+          suppress_health_check=[HealthCheck.data_too_large,
+                                 HealthCheck.too_slow])
+@given(st.lists(st.sampled_from(["u8", "u16", "u32", "u64", "blob", "mod",
+                                 "text"]), max_size=10),
+       st.data())
+def test_arbitrary_field_sequences_roundtrip(kinds, data):
+    w = Writer(CTX)
+    expected = []
+    for kind in kinds:
+        if kind == "u8":
+            value = data.draw(st.integers(0, 255))
+            w.u8(value)
+        elif kind == "u16":
+            value = data.draw(st.integers(0, 2 ** 16 - 1))
+            w.u16(value)
+        elif kind == "u32":
+            value = data.draw(st.integers(0, 2 ** 32 - 1))
+            w.u32(value)
+        elif kind == "u64":
+            value = data.draw(st.integers(0, 2 ** 64 - 1))
+            w.u64(value)
+        elif kind == "blob":
+            value = data.draw(st.binary(max_size=100))
+            w.blob(value)
+        elif kind == "mod":
+            value = data.draw(modulators)
+            w.modulator(value)
+        else:
+            value = data.draw(st.text(max_size=30))
+            w.text(value)
+        expected.append((kind, value))
+
+    r = Reader(CTX, w.getvalue())
+    for kind, value in expected:
+        reader = {"u8": r.u8, "u16": r.u16, "u32": r.u32, "u64": r.u64,
+                  "blob": r.blob, "mod": r.modulator, "text": r.text}[kind]
+        assert reader() == value
+    r.expect_end()
+
+
+@given(st.binary(max_size=300))
+def test_garbage_decoding_is_contained(data):
+    """Arbitrary bytes either decode to a message or raise ProtocolError."""
+    try:
+        message = msg.decode_message(CTX, data)
+    except (ProtocolError, UnicodeDecodeError):
+        return
+    # Whatever decoded must re-encode (not necessarily byte-identically --
+    # e.g. non-canonical optionals -- but without crashing).
+    msg.encode_message(CTX, message)
+
+
+@given(st.integers(0, 2 ** 64 - 1), st.binary(max_size=50), modulators)
+def test_delete_request_roundtrip(item_id, blob, modulator):
+    message = msg.DeleteCommit(file_id=1, item_id=item_id,
+                               cut_slots=(1, 2), deltas=(modulator, modulator),
+                               x_s_prime=None, dest_link=modulator,
+                               dest_leaf=None, tree_version=9)
+    assert msg.decode_message(CTX, msg.encode_message(CTX, message)) == message

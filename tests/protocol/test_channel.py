@@ -1,0 +1,78 @@
+"""Metering channel: byte counting, payload split, network model."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.protocol import messages as msg
+from repro.protocol.channel import ChannelCounters, LoopbackChannel
+from repro.protocol.wire import WireContext
+from repro.server.server import CloudServer
+from repro.sim.network import EC2_PROFILE, LAN_PROFILE, NetworkModel
+
+
+def test_counts_real_encoded_bytes():
+    server = CloudServer()
+    channel = LoopbackChannel(server)
+    request = msg.DeleteFileRequest(file_id=3)
+    encoded = msg.encode_message(server.ctx, request)
+    reply = channel.request(request)
+    assert isinstance(reply, msg.Ack)
+    assert channel.counters.bytes_sent == len(encoded)
+    assert channel.counters.bytes_received == \
+        len(msg.encode_message(server.ctx, reply))
+    assert channel.counters.round_trips == 1
+
+
+def test_payload_split(scheme):
+    fid, ids = scheme.new_file([b"A" * 1000])
+    counters_before = scheme.channel.counters.snapshot()
+    scheme.access(fid, ids[0])
+    delta = scheme.channel.counters.delta(counters_before)
+    assert delta.payload_received >= 1000
+    assert delta.payload_sent == 0
+    assert delta.bytes_received > delta.payload_received
+
+
+def test_counters_snapshot_delta():
+    a = ChannelCounters(bytes_sent=10, bytes_received=20, payload_sent=1,
+                        payload_received=2, round_trips=1)
+    b = ChannelCounters(bytes_sent=25, bytes_received=60, payload_sent=4,
+                        payload_received=12, round_trips=3)
+    delta = b.delta(a)
+    assert (delta.bytes_sent, delta.bytes_received) == (15, 40)
+    assert (delta.payload_sent, delta.payload_received) == (3, 10)
+    assert delta.round_trips == 2
+
+
+def test_network_model_accumulates_virtual_time():
+    server = CloudServer()
+    channel = LoopbackChannel(server, network=NetworkModel(
+        rtt_seconds=0.1, uplink_bytes_per_second=1000,
+        downlink_bytes_per_second=1000))
+    channel.request(msg.DeleteFileRequest(file_id=1))
+    counters = channel.counters
+    expected = 0.1 + (counters.bytes_sent + counters.bytes_received) / 1000
+    assert counters.simulated_seconds == pytest.approx(expected)
+
+
+def test_network_profiles_ordering():
+    assert LAN_PROFILE.round_trip_seconds(1000, 1000) < \
+        EC2_PROFILE.round_trip_seconds(1000, 1000)
+
+
+def test_server_time_is_metered():
+    server = CloudServer()
+    channel = LoopbackChannel(server)
+    channel.request(msg.DeleteFileRequest(file_id=1))
+    assert channel.counters.server_seconds > 0
+
+
+def test_channel_requires_wire_context():
+    class Bare:
+        def handle_bytes(self, data):
+            return data
+
+    with pytest.raises(ProtocolError):
+        LoopbackChannel(Bare())
+    channel = LoopbackChannel(Bare(), ctx=WireContext(modulator_width=20))
+    assert channel.ctx.modulator_width == 20

@@ -1,0 +1,125 @@
+"""Recovery semantics under message loss and duplication.
+
+These tests pin down what the protocol guarantees when the network
+misbehaves -- in particular that *assured deletion stays assured* and
+that versioned commits are never applied twice.
+"""
+
+import pytest
+
+from repro.client.client import AssuredDeletionClient
+from repro.core.errors import StaleStateError, UnknownItemError
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol.faults import (DROP_REQUEST, DROP_RESPONSE, DUPLICATE,
+                                   NONE, ChannelError, FaultInjectingChannel)
+from repro.server.server import CloudServer
+from repro.sim.threat import Adversary, snapshot_file
+
+
+def make_pair(schedule, seed="faults"):
+    server = CloudServer()
+    channel = FaultInjectingChannel(server, schedule)
+    client = AssuredDeletionClient(channel, rng=DeterministicRandom(seed))
+    return server, channel, client
+
+
+def outsourced(schedule, n=4, seed="faults"):
+    server, channel, client = make_pair(iter([]), seed)
+    key = client.outsource(1, [b"item-%d" % i for i in range(n)])
+    ids = client.item_ids_of(n)
+    channel._schedule = iter(schedule)
+    return server, channel, client, key, ids
+
+
+def test_dropped_read_is_safely_retryable():
+    server, channel, client, key, ids = outsourced([DROP_REQUEST])
+    with pytest.raises(ChannelError):
+        client.access(1, key, ids[0])
+    assert client.access(1, key, ids[0]) == b"item-0"
+
+
+def test_duplicated_read_is_harmless():
+    _server, channel, client, key, ids = outsourced([DUPLICATE])
+    assert client.access(1, key, ids[0]) == b"item-0"
+    assert channel.faults_injected == [DUPLICATE]
+
+
+def test_duplicated_delete_commit_applies_once():
+    """A retransmitted commit must not XOR the deltas twice: the version
+    bump on first application makes the duplicate a stale no-op."""
+    # Schedule: challenge passes, commit duplicated.
+    server, channel, client, key, ids = outsourced([NONE, DUPLICATE])
+    new_key = client.delete(1, key, ids[1])
+    # All surviving items still decrypt => deltas applied exactly once.
+    for index in (0, 2, 3):
+        assert client.access(1, new_key, ids[index]) == b"item-%d" % index
+
+
+def test_duplicated_insert_commit_applies_once():
+    server, channel, client, key, ids = outsourced([NONE, DUPLICATE])
+    item = client.insert(1, key, b"fresh")
+    assert client.access(1, key, item) == b"fresh"
+    assert server.file_state(1).tree.leaf_count == 5  # not 6
+
+
+def test_lost_delete_ack_is_resumable_and_then_assured():
+    """The worst case: the server applied the deletion but the ACK is
+    lost.  The client journals the commit before sending, so it can
+    finalise through the server's replay cache: the deletion completes
+    exactly once, the old key is then shredded (deletion time T), and
+    both assurance and availability hold."""
+    server, channel, client, key, ids = outsourced([NONE, DROP_RESPONSE])
+
+    adversary = Adversary()
+    adversary.observe(snapshot_file(server, 1))
+
+    with pytest.raises(ChannelError):
+        client.delete(1, key, ids[1])
+    adversary.observe(snapshot_file(server, 1))
+
+    # Before finalisation the deletion is NOT assured: the old key is
+    # still on the device (the paper's T has not happened yet).
+    assert client.pending_deletes() == [(1, ids[1])]
+
+    new_key = client.resume_delete(1, ids[1])
+    adversary.observe(snapshot_file(server, 1))
+
+    # Now the device is seized: the deleted item is dead, survivors live.
+    adversary.seize_keystore(client.keystore.seize())
+    assert adversary.try_recover(ids[1]) is None
+    assert client.access(1, new_key, ids[0]) == b"item-0"
+    assert client.pending_deletes() == []
+
+
+def test_lost_delete_ack_when_commit_never_arrived():
+    """Same journal, other branch: the COMMIT was lost (server never
+    acted).  resume_delete applies it now, exactly once."""
+    server, channel, client, key, ids = outsourced([NONE, DROP_REQUEST])
+    with pytest.raises(ChannelError):
+        client.delete(1, key, ids[2])
+    assert server.file_state(1).tree.leaf_count == 4  # nothing happened
+    new_key = client.resume_delete(1, ids[2])
+    assert server.file_state(1).tree.leaf_count == 3
+    assert client.access(1, new_key, ids[0]) == b"item-0"
+    with pytest.raises(UnknownItemError):
+        client.access(1, new_key, ids[2])
+
+
+def test_resume_delete_requires_a_journal_entry():
+    _server, _channel, client, key, ids = outsourced([])
+    with pytest.raises(UnknownItemError):
+        client.resume_delete(1, ids[0])
+
+
+def test_lost_modify_commit_response():
+    server, channel, client, key, ids = outsourced([NONE, DROP_RESPONSE])
+    with pytest.raises(ChannelError):
+        client.modify(1, key, ids[0], b"new-value")
+    # The write actually landed; a re-read shows it.
+    assert client.access(1, key, ids[0]) == b"new-value"
+
+
+def test_unknown_fault_kind_rejected():
+    server, channel, client, key, ids = outsourced(["explode"])
+    with pytest.raises(ValueError):
+        client.access(1, key, ids[0])

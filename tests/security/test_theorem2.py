@@ -1,0 +1,193 @@
+"""Theorem 2: deleted data is unrecoverable under the full threat model.
+
+The adversary (:mod:`repro.sim.threat`) controls the server from the
+start -- it snapshots every state the server ever holds, including every
+ciphertext version -- and seizes the client device *after* the deletion.
+The recovery procedure runs every honest derivation over everything it
+has.  It must fail for deleted items, and -- the soundness controls --
+succeed for live items and for the broken baseline variants.
+"""
+
+import pytest
+
+from repro.baselines.base import BlobStoreServer
+from repro.baselines.master_key import MasterKeySolution
+from repro.crypto.prf import prf
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol.channel import LoopbackChannel
+from repro.sim.threat import Adversary, snapshot_file
+from tests.conftest import make_scheme
+
+
+def test_deleted_item_unrecoverable_with_continuous_server_compromise():
+    scheme = make_scheme("t2-main")
+    items = [b"doc-%d" % i for i in range(10)]
+    fid, ids = scheme.new_file(items)
+    victim = ids[4]
+
+    adversary = Adversary()
+    adversary.observe(snapshot_file(scheme.server, fid))
+
+    # Server is compromised the whole time: snapshot around every op.
+    scheme.access(fid, ids[1])
+    adversary.observe(snapshot_file(scheme.server, fid))
+    scheme.modify(fid, ids[2], b"doc-2-v2")
+    adversary.observe(snapshot_file(scheme.server, fid))
+
+    # Time T: the client deletes the victim (old master key shredded).
+    scheme.delete(fid, victim)
+    adversary.observe(snapshot_file(scheme.server, fid))
+
+    # After T: the device is seized.
+    adversary.seize_keystore(scheme.client.keystore.seize())
+
+    # The deleted item resists the full recovery procedure...
+    assert adversary.try_recover(victim) is None
+    # ...while every live item falls (soundness control).
+    assert adversary.try_recover(ids[0]) == b"doc-0"
+    # Both ciphertext versions of the modified item decrypt (same data
+    # key); the recovery procedure surfaces one of them.
+    assert adversary.try_recover(ids[2]) in (b"doc-2", b"doc-2-v2")
+
+
+def test_multiple_deletions_all_stay_dead():
+    scheme = make_scheme("t2-multi")
+    fid, ids = scheme.new_file([b"secret-%d" % i for i in range(8)])
+    adversary = Adversary()
+    adversary.observe(snapshot_file(scheme.server, fid))
+
+    victims = [ids[0], ids[3], ids[7]]
+    for victim in victims:
+        scheme.delete(fid, victim)
+        adversary.observe(snapshot_file(scheme.server, fid))
+    new_item = scheme.insert(fid, b"post-deletion insert")
+    adversary.observe(snapshot_file(scheme.server, fid))
+    adversary.seize_keystore(scheme.client.keystore.seize())
+
+    for victim in victims:
+        assert adversary.try_recover(victim) is None
+    assert adversary.try_recover(ids[1]) == b"secret-1"
+    assert adversary.try_recover(new_item) == b"post-deletion insert"
+
+
+def test_compromise_before_deletion_reads_data_as_expected():
+    """Seizing the device *before* T reveals undeleted data -- the threat
+    model explicitly concedes this ("If the attackers manage to compromise
+    the client's device before T, they will know the data")."""
+    scheme = make_scheme("t2-before")
+    fid, ids = scheme.new_file([b"exposed"])
+    adversary = Adversary()
+    adversary.observe(snapshot_file(scheme.server, fid))
+    adversary.seize_keystore(scheme.client.keystore.seize())  # before T
+    assert adversary.try_recover(ids[0]) == b"exposed"
+
+
+def test_whole_file_deletion_via_meta_tree_kills_every_item():
+    from repro.fs.filesystem import OutsourcedFileSystem
+    fs = OutsourcedFileSystem(rng=DeterministicRandom("t2-fs"))
+    handle = fs.create_file("vault/secrets", [b"s1", b"s2", b"s3"])
+    fid = handle.file_id
+    item_ids = [item for item, _size in handle._record.index.records()]
+
+    adversary = Adversary()
+    adversary.observe(snapshot_file(fs.server, fid))
+    meta_fid = fs._group_manager("vault").meta_file_id
+    adversary.observe(snapshot_file(fs.server, meta_fid))
+
+    fs.delete_file("vault/secrets")
+    adversary.seize_keystore(fs.client.keystore.seize())
+
+    # The adversary holds every data ciphertext and the whole (old) tree,
+    # plus the *current* control key -- but the master key item was
+    # assuredly deleted from the meta tree, so nothing decrypts.
+    for item in item_ids:
+        assert adversary.try_recover(item) is None
+
+
+def test_two_level_item_deletion_stays_dead_despite_meta_churn():
+    """Fine-grained deletion through the fs layer: the meta tree's
+    delete+insert replacement must not leave the *old* master key
+    recoverable (the in-place-modify pitfall DESIGN.md documents)."""
+    from repro.fs.filesystem import OutsourcedFileSystem
+    fs = OutsourcedFileSystem(rng=DeterministicRandom("t2-fs2"))
+    handle = fs.create_file("hr/roster", [b"alice", b"bob", b"carol"])
+    fid = handle.file_id
+    meta_fid = fs._group_manager("hr").meta_file_id
+    item_ids = [item for item, _size in handle._record.index.records()]
+
+    data_adversary = Adversary()
+    meta_adversary = Adversary()
+    data_adversary.observe(snapshot_file(fs.server, fid))
+    meta_adversary.observe(snapshot_file(fs.server, meta_fid))
+
+    handle.delete_record(0)  # delete alice
+
+    data_adversary.observe(snapshot_file(fs.server, fid))
+    meta_adversary.observe(snapshot_file(fs.server, meta_fid))
+    seized = fs.client.keystore.seize()
+    data_adversary.seize_keystore(seized)
+    meta_adversary.seize_keystore(seized)
+
+    # Step 1: the control key cannot resurrect the OLD master-key item in
+    # the meta tree (it was assuredly deleted, not modified in place).
+    old_meta_items = set(meta_adversary.snapshots[0].ciphertexts)
+    new_meta_items = set(meta_adversary.snapshots[-1].ciphertexts)
+    replaced = old_meta_items - new_meta_items
+    assert replaced, "replacement must delete the old meta item"
+    for meta_item in replaced:
+        assert meta_adversary.try_recover(meta_item) is None
+
+    # Step 2: consequently the deleted record stays dead even though the
+    # adversary can recover the CURRENT master key through the meta tree.
+    current_meta_items = new_meta_items - old_meta_items
+    recovered_payloads = [meta_adversary.try_recover(item)
+                          for item in current_meta_items]
+    assert any(payload is not None for payload in recovered_payloads)
+    current_master_keys = [payload[10:] for payload in recovered_payloads
+                           if payload is not None]
+    data_adversary.seized_keys.extend(current_master_keys)
+    assert data_adversary.try_recover(item_ids[0]) is None
+    assert data_adversary.try_recover(item_ids[1]) == b"bob"
+
+
+def test_master_key_baseline_without_reencryption_leaks():
+    """Soundness control for the broken shortcut: keeping the key while
+    merely dropping the ciphertext does NOT delete anything."""
+    server = BlobStoreServer()
+    scheme = MasterKeySolution(LoopbackChannel(server),
+                               rng=DeterministicRandom("t2-mk"))
+    ids = scheme.outsource([b"secret", b"other"])
+
+    # Compromised server keeps the ciphertext snapshot.
+    snapshot = server.stored_items(scheme.file_id)
+    scheme.delete_without_reencryption(ids[0])
+
+    # Device seized after the "deletion": the unchanged master key plus
+    # the retained ciphertext recover the item.
+    master_key = scheme.keystore.get("master")
+    data_key = prf(master_key, ids[0], length=20)
+    message, recovered = scheme.codec.decrypt(data_key, snapshot[ids[0]])
+    assert recovered == ids[0]
+    assert message == b"secret"
+
+
+def test_master_key_baseline_with_reencryption_is_safe():
+    """The honest O(n) deletion of the baseline does work -- it is the
+    cost, not the security, that the paper improves."""
+    server = BlobStoreServer()
+    scheme = MasterKeySolution(LoopbackChannel(server),
+                               rng=DeterministicRandom("t2-mk2"))
+    ids = scheme.outsource([b"secret", b"other"])
+    snapshot = server.stored_items(scheme.file_id)
+
+    scheme.delete(ids[0])
+
+    master_key = scheme.keystore.get("master")  # the NEW key
+    for candidate in (ids[0], ids[1]):
+        data_key = prf(master_key, candidate, length=20)
+        try:
+            message, _r = scheme.codec.decrypt(data_key, snapshot[candidate])
+        except Exception:
+            message = None
+        if candidate == ids[0]:
+            assert message is None  # old ciphertext + new key: dead

@@ -1,0 +1,60 @@
+"""Direct behaviour of the malicious-server variants (the security
+consequences are tested in tests/security)."""
+
+import pytest
+
+from repro.client.client import AssuredDeletionClient
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol import messages as msg
+from repro.protocol.channel import LoopbackChannel
+from repro.server.adversary import (CloneCutServer, ReplayServer,
+                                    WrongCiphertextServer, WrongLeafServer)
+
+
+def outsourced(server, n=4, seed="adv-unit"):
+    client = AssuredDeletionClient(LoopbackChannel(server),
+                                   rng=DeterministicRandom(seed))
+    key = client.outsource(1, [b"v-%d" % i for i in range(n)])
+    return client, key, client.item_ids_of(n)
+
+
+def test_wrong_leaf_server_actually_swaps():
+    server = WrongLeafServer()
+    _client, _key, ids = outsourced(server)
+    challenge = server.handle(msg.DeleteRequest(file_id=1, item_id=ids[2]))
+    assert isinstance(challenge, msg.DeleteChallenge)
+    # The served path leads to a different item's leaf.
+    victim_slot = server.file_state(1).tree.slot_of_item(ids[2])
+    assert challenge.mt.path_slots[-1] != victim_slot
+
+
+def test_wrong_leaf_server_with_single_item_degrades_to_honest():
+    server = WrongLeafServer()
+    _client, _key, ids = outsourced(server, n=1)
+    challenge = server.handle(msg.DeleteRequest(file_id=1, item_id=ids[0]))
+    assert isinstance(challenge, msg.DeleteChallenge)
+
+
+def test_wrong_ciphertext_server_swaps_payload_only():
+    server = WrongCiphertextServer()
+    _client, _key, ids = outsourced(server)
+    honest = server.file_state(1)
+    challenge = server.handle(msg.DeleteRequest(file_id=1, item_id=ids[0]))
+    victim_slot = honest.tree.slot_of_item(ids[0])
+    assert challenge.mt.path_slots[-1] == victim_slot  # path is honest
+    assert challenge.ciphertext != honest.ciphertexts.get(ids[0])
+
+
+def test_clone_cut_server_produces_equal_modulators():
+    server = CloneCutServer()
+    _client, _key, ids = outsourced(server, n=8)
+    challenge = server.handle(msg.DeleteRequest(file_id=1, item_id=ids[2]))
+    assert challenge.mt.cut[0].link_mod == challenge.mt.path_links[0]
+
+
+def test_replay_server_serves_first_version():
+    server = ReplayServer()
+    client, key, ids = outsourced(server)
+    original = client.access(1, key, ids[0])
+    client.modify(1, key, ids[0], b"updated")
+    assert client.access(1, key, ids[0]) == original  # stale replay

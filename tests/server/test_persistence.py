@@ -1,0 +1,78 @@
+"""Server state persistence: save, reload, and keep operating."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.core.params import SHA256_PARAMS
+from repro.client.client import AssuredDeletionClient
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol.channel import LoopbackChannel
+from repro.server.persistence import load_server, save_server
+from repro.sim.threat import snapshot_file
+from tests.conftest import make_scheme
+
+
+def test_roundtrip_preserves_state(tmp_path, scheme):
+    fid, ids = scheme.new_file([b"a", b"b", b"c", b"d"])
+    scheme.delete(fid, ids[1])
+    scheme.modify(fid, ids[0], b"a-v2")
+    path = str(tmp_path / "server.state")
+    save_server(scheme.server, path)
+
+    restored = load_server(path)
+    before = snapshot_file(scheme.server, fid)
+    after = snapshot_file(restored, fid)
+    assert before == after
+    assert restored.file_state(fid).version == \
+        scheme.server.file_state(fid).version
+
+
+def test_client_continues_against_restored_server(tmp_path, scheme):
+    fid, ids = scheme.new_file([b"x", b"y", b"z"])
+    key = scheme._key(fid)
+    path = str(tmp_path / "server.state")
+    save_server(scheme.server, path)
+
+    restored = load_server(path)
+    client = AssuredDeletionClient(LoopbackChannel(restored),
+                                   rng=DeterministicRandom("restore"),
+                                   keystore=scheme.client.keystore,
+                                   store_keys=False)
+    assert client.access(fid, key, ids[0]) == b"x"
+    new_key = client.delete(fid, key, ids[1])
+    assert client.fetch_file(fid, new_key) == {ids[0]: b"x", ids[2]: b"z"}
+
+
+def test_multiple_files(tmp_path, scheme):
+    fid1, _ = scheme.new_file([b"one"])
+    fid2, _ = scheme.new_file([b"two", b"three"])
+    path = str(tmp_path / "server.state")
+    save_server(scheme.server, path)
+    restored = load_server(path)
+    assert restored.has_file(fid1)
+    assert restored.has_file(fid2)
+    assert restored.file_state(fid2).tree.leaf_count == 2
+
+
+def test_empty_server(tmp_path):
+    scheme = make_scheme("empty-persist")
+    path = str(tmp_path / "server.state")
+    save_server(scheme.server, path)
+    restored = load_server(path)
+    assert not restored.has_file(1)
+
+
+def test_rejects_garbage(tmp_path):
+    path = str(tmp_path / "garbage")
+    with open(path, "wb") as handle:
+        handle.write(b"NOPE" + b"\x00" * 40)
+    with pytest.raises(ProtocolError):
+        load_server(path)
+
+
+def test_rejects_wrong_parameters(tmp_path, scheme):
+    fid, _ = scheme.new_file([b"a"])
+    path = str(tmp_path / "server.state")
+    save_server(scheme.server, path)
+    with pytest.raises(ProtocolError):
+        load_server(path, params=SHA256_PARAMS)

@@ -1,0 +1,57 @@
+"""Metrics collection and aggregation."""
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector, OpRecord, Stopwatch
+
+
+def record(op, sent=100, received=200, psent=0, preceived=50, seconds=0.5,
+           hashes=7):
+    return OpRecord(op=op, bytes_sent=sent, bytes_received=received,
+                    payload_sent=psent, payload_received=preceived,
+                    client_seconds=seconds, hash_calls=hashes)
+
+
+def test_overhead_definition():
+    r = record("delete")
+    assert r.total_bytes == 300
+    assert r.overhead_bytes == 250
+
+
+def test_collector_aggregation():
+    collector = MetricsCollector()
+    collector.add(record("delete", sent=100))
+    collector.add(record("delete", sent=300))
+    collector.add(record("access", sent=10))
+    assert len(collector.for_op("delete")) == 2
+    assert collector.mean_overhead_bytes("delete") == \
+        (250 + 450) / 2
+    assert collector.mean_client_seconds("access") == 0.5
+    assert collector.mean_hash_calls("delete") == 7
+
+
+def test_collector_empty_op():
+    collector = MetricsCollector()
+    with pytest.raises(ValueError):
+        collector.mean_overhead_bytes("nope")
+    with pytest.raises(ValueError):
+        collector.mean_client_seconds("nope")
+    with pytest.raises(ValueError):
+        collector.mean_hash_calls("nope")
+
+
+def test_collector_clear():
+    collector = MetricsCollector()
+    collector.add(record("x"))
+    collector.clear()
+    assert collector.records == []
+
+
+def test_stopwatch_accumulates():
+    watch = Stopwatch()
+    with watch.measure():
+        pass
+    first = watch.seconds
+    with watch.measure():
+        sum(range(1000))
+    assert watch.seconds > first

@@ -1,0 +1,70 @@
+"""Workload generators."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.sim.workload import (Operation, employee_roster, mail_messages,
+                                make_items, make_record_items, operation_mix)
+
+
+def test_make_items_shape(rng):
+    items = make_items(10, 64, rng)
+    assert len(items) == 10
+    assert all(len(item) == 64 for item in items)
+    assert len(set(items)) == 10
+
+
+def test_make_items_deterministic():
+    a = make_items(5, 32, DeterministicRandom("w"))
+    b = make_items(5, 32, DeterministicRandom("w"))
+    assert a == b
+
+
+def test_make_items_validation(rng):
+    with pytest.raises(ValueError):
+        make_items(-1, 10, rng)
+    with pytest.raises(ValueError):
+        make_items(1, -1, rng)
+    assert make_items(0, 10, rng) == []
+
+
+def test_record_items_have_headers(rng):
+    items = make_record_items(3, 64, rng, prefix=b"emp")
+    assert all(item.startswith(b"emp-") for item in items)
+    assert all(len(item) == 64 for item in items)
+    tiny = make_record_items(1, 4, rng)
+    assert len(tiny[0]) == 4
+
+
+def test_employee_roster(rng):
+    records = employee_roster(20, rng)
+    assert len(records) == 20
+    assert all(record.startswith(b"emp") for record in records)
+    assert all(record.count(b",") == 3 for record in records)
+
+
+def test_mail_messages(rng):
+    messages = mail_messages(5, rng, body_size=100)
+    assert len(messages) == 5
+    assert all(m.startswith(b"From: user") for m in messages)
+    assert all(len(m) > 100 for m in messages)
+
+
+def test_operation_mix(rng):
+    operations = list(operation_mix(200, rng, item_size=16))
+    assert len(operations) == 200
+    kinds = {op.kind for op in operations}
+    assert kinds <= {"access", "modify", "insert", "delete"}
+    assert len(kinds) >= 3  # with 200 draws all common kinds appear
+    for op in operations:
+        if op.kind in ("modify", "insert"):
+            assert len(op.data) == 16
+        else:
+            assert op.data == b""
+
+
+def test_operation_mix_custom_weights(rng):
+    operations = list(operation_mix(50, rng, weights={"delete": 1}))
+    assert all(op.kind == "delete" for op in operations)
+    with pytest.raises(ValueError):
+        list(operation_mix(1, rng, weights={}))

@@ -1,0 +1,37 @@
+"""Every example script must run cleanly against the public API."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = ["quickstart.py", "employee_roster.py", "mail_backup.py",
+            "adversarial_audit.py", "multi_file_system.py",
+            "sensor_log.py"]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_proves_unrecoverability():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True, text=True, timeout=300)
+    assert "unrecoverable" in result.stdout
+
+
+def test_adversarial_audit_contains_all_attacks():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "adversarial_audit.py")],
+        capture_output=True, text=True, timeout=300)
+    assert result.stdout.count("REJECTED") == 4
+    assert "all attacks contained" in result.stdout
