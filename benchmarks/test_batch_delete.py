@@ -1,0 +1,148 @@
+"""Batched vs sequential deletion at the paper's scale (ISSUE 1).
+
+Sweeps batch size k over {1, 4, 16, 64} at n = 10^5 items x 4 KB and
+compares ``delete_many`` against k sequential ``delete()`` calls on an
+identically-seeded file: client wall-clock seconds and protocol overhead
+bytes (item payload excluded, as the paper defines overhead).
+
+Two deletion patterns are reported:
+
+* ``sweep``     -- the k oldest items (a retention sweep / GDPR purge,
+  the workload motivating the batch API): contiguous leaves share most
+  of their paths, so the union view is small and the wins are large.
+* ``scattered`` -- k uniformly random items: paths barely overlap, which
+  bounds the worst case.
+
+The acceptance criterion (>= 5x time, >= 3x bytes at k = 64) is asserted
+on the sweep pattern; scattered gets softer floors.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.analysis.harness import build_seeded_file
+from repro.crypto.rng import DeterministicRandom
+from repro.sim.metrics import MetricsCollector
+from repro.sim.workload import PAPER_ITEM_SIZE
+
+N_ITEMS = 100_000
+BATCH_SIZES = (1, 4, 16, 64)
+
+
+def _indices(pattern: str, k: int, n: int) -> list[int]:
+    if pattern == "sweep":
+        return list(range(k))
+    rng = DeterministicRandom(f"scatter-{k}")
+    chosen: list[int] = []
+    seen = set()
+    while len(chosen) < k:
+        index = rng.below(n)
+        if index not in seen:
+            seen.add(index)
+            chosen.append(index)
+    return chosen
+
+
+def _run_pair(pattern: str, k: int, n: int = N_ITEMS,
+              item_size: int = PAPER_ITEM_SIZE):
+    """Delete the same k items sequentially and batched; return records."""
+    indices = _indices(pattern, k, n)
+    seed = f"batch-bench-{pattern}-{k}"
+
+    seq_metrics = MetricsCollector()
+    seq = build_seeded_file(n, item_size, seed=seed, metrics=seq_metrics)
+    for index in indices:
+        seq.scheme.delete(seq.item_id(index))
+    seq_records = seq_metrics.for_op("delete")
+    assert len(seq_records) == k
+
+    batch_metrics = MetricsCollector()
+    batch = build_seeded_file(n, item_size, seed=seed, metrics=batch_metrics)
+    batch.scheme.delete_many([batch.item_id(index) for index in indices])
+    batch_records = batch_metrics.for_op("delete_many")
+    assert len(batch_records) == 1
+
+    seq_seconds = sum(r.client_seconds for r in seq_records)
+    seq_bytes = sum(r.overhead_bytes for r in seq_records)
+    return {
+        "pattern": pattern,
+        "k": k,
+        "seq_seconds": seq_seconds,
+        "batch_seconds": batch_records[0].client_seconds,
+        "seq_bytes": seq_bytes,
+        "batch_bytes": batch_records[0].overhead_bytes,
+        "speedup": seq_seconds / max(batch_records[0].client_seconds, 1e-9),
+        "bytes_ratio": seq_bytes / max(batch_records[0].overhead_bytes, 1),
+        "hash_ratio": (sum(r.hash_calls for r in seq_records)
+                       / max(batch_records[0].hash_calls, 1)),
+    }
+
+
+@pytest.fixture(scope="module")
+def batch_rows():
+    rows = []
+    for pattern in ("sweep", "scattered"):
+        for k in BATCH_SIZES:
+            rows.append(_run_pair(pattern, k))
+    lines = [
+        f"Batched deletion vs {max(BATCH_SIZES)} sequential deletes "
+        f"(n = {N_ITEMS}, {PAPER_ITEM_SIZE} B items)",
+        "",
+        f"{'pattern':<10} {'k':>3} {'seq ms':>9} {'batch ms':>9} "
+        f"{'speedup':>8} {'seq KB':>8} {'batch KB':>9} {'bytes x':>8} "
+        f"{'B/item':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['pattern']:<10} {row['k']:>3} "
+            f"{row['seq_seconds'] * 1e3:>9.1f} "
+            f"{row['batch_seconds'] * 1e3:>9.1f} "
+            f"{row['speedup']:>7.1f}x "
+            f"{row['seq_bytes'] / 1024:>8.1f} "
+            f"{row['batch_bytes'] / 1024:>9.1f} "
+            f"{row['bytes_ratio']:>7.1f}x "
+            f"{row['batch_bytes'] / row['k']:>7.0f}")
+    table = "\n".join(lines)
+    save_result("batch_delete", table)
+    print("\n" + table)
+    return {(row["pattern"], row["k"]): row for row in rows}
+
+
+def test_sweep_batch_meets_acceptance_criteria(batch_rows):
+    """ISSUE 1 acceptance: >= 5x faster and >= 3x fewer overhead bytes
+    for a 64-item batch out of 10^5."""
+    row = batch_rows[("sweep", 64)]
+    assert row["speedup"] >= 5.0, row
+    assert row["bytes_ratio"] >= 3.0, row
+
+
+def test_scattered_batch_still_wins(batch_rows):
+    """Worst-case pattern: non-overlapping paths.  One round trip and one
+    rotation still beat 64 sequential exchanges on every axis."""
+    row = batch_rows[("scattered", 64)]
+    assert row["speedup"] >= 2.0, row
+    assert row["bytes_ratio"] >= 1.5, row
+
+
+def test_batch_never_regresses(batch_rows):
+    """Even k = 1 must not be slower than a sequential delete by more
+    than the noise floor, and every k must save bytes."""
+    for (_pattern, _k), row in batch_rows.items():
+        assert row["bytes_ratio"] >= 0.9, row
+        assert row["hash_ratio"] >= 0.9, row
+
+
+def test_quick_batch_smoke():
+    """CI smoke: small scale, correctness + one-round-trip shape only."""
+    n, k = 1_000, 4
+    metrics = MetricsCollector()
+    handle = build_seeded_file(n, 64, seed="batch-quick", metrics=metrics)
+    victims = [handle.item_id(i) for i in (0, 7, 500, n - 1)]
+    assert len(victims) == k
+    handle.scheme.delete_many(victims)
+    record = metrics.for_op("delete_many")[-1]
+    assert record.round_trips == 2
+    assert handle.server.file_state(handle.file_id).tree.leaf_count == n - k
+    assert handle.server.file_state(handle.file_id).version == 1
+    # A survivor still decrypts end to end.
+    assert handle.scheme.access(handle.item_id(1)) is not None

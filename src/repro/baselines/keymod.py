@@ -62,5 +62,9 @@ class KeyModulationScheme(DeletionScheme):
         self._master_key = self._client.delete(self.file_id, self._key(),
                                                item_id)
 
+    def delete_many(self, item_ids: list[int]) -> None:
+        self._master_key = self._client.delete_many(self.file_id, self._key(),
+                                                    item_ids)
+
     def client_storage_bytes(self) -> int:
         return len(self._key())

@@ -17,7 +17,8 @@ Commands::
     repro-vault get  <name> <position>
     repro-vault set  <name> <position> <value>
     repro-vault add  <name> <value>
-    repro-vault rm   <name> <position>      # assured record deletion
+    repro-vault rm   <name> <position> ...  # assured record deletion
+                                            # (several positions = one batch)
     repro-vault drop <name>                 # assured whole-file deletion
     repro-vault serve --port 9000           # expose the vault over TCP
     repro-vault stats
@@ -132,9 +133,14 @@ def cmd_add(vault: Vault, args) -> int:
 
 def cmd_rm(vault: Vault, args) -> int:
     vault.load()
-    vault.fs.open(args.name).delete_record(args.position)
+    handle = vault.fs.open(args.name)
+    if len(args.positions) == 1:
+        handle.delete_record(args.positions[0])
+    else:
+        handle.delete_many(args.positions)
     vault.save()
-    _print(f"assuredly deleted {args.name!r}[{args.position}] "
+    shown = ",".join(str(p) for p in args.positions)
+    _print(f"assuredly deleted {args.name!r}[{shown}] "
            f"(master + control keys rotated)")
     return 0
 
@@ -210,7 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     add.set_defaults(func=cmd_add)
     rm = sub.add_parser("rm")
     rm.add_argument("name")
-    rm.add_argument("position", type=int)
+    rm.add_argument("positions", type=int, nargs="+")
     rm.set_defaults(func=cmd_rm)
     drop = sub.add_parser("drop")
     drop.add_argument("name")

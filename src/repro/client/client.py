@@ -69,6 +69,10 @@ class AssuredDeletionClient:
         # deltas).  See :meth:`resume_delete`.
         self._pending_deletes: dict[tuple[int, int], tuple[msg.DeleteCommit,
                                                            bytes]] = {}
+        # Same journal for batched deletions, keyed by the item-id tuple.
+        self._pending_batch_deletes: dict[
+            tuple[int, tuple[int, ...]],
+            tuple[msg.BatchDeleteCommit, bytes]] = {}
 
     # ------------------------------------------------------------------
     # Measurement plumbing
@@ -406,6 +410,129 @@ class AssuredDeletionClient:
             self.keystore.shred(self._key_name(file_id))
             self.keystore.put(self._key_name(file_id), new_key)
         self._finish("resume_delete", begin)
+        return new_key
+
+    # ------------------------------------------------------------------
+    # Batched deletion
+    # ------------------------------------------------------------------
+
+    def delete_many(self, file_id: int, master_key: bytes,
+                    item_ids: Sequence[int]) -> bytes:
+        """Assuredly delete a *set* of items in one exchange.
+
+        One key rotation and one round-trip pair replace ``k`` sequential
+        deletions: the union cut of all target paths is compensated by a
+        single fresh master key, all chain evaluations ride the vectorised
+        ``step_many`` lanes, and the ``k`` rebalancing moves are simulated
+        locally from the balance band in the view.  Semantics are
+        identical to deleting the items one by one (in the given order);
+        returns the new master key.
+        """
+        item_ids = tuple(item_ids)
+        if not item_ids:
+            return master_key
+        if len(set(item_ids)) != len(item_ids):
+            raise ReproError("batch item ids must be distinct")
+        begin = self._begin()
+        reply = self._expect(
+            self.channel.request(msg.BatchDeleteRequest(file_id=file_id,
+                                                        item_ids=item_ids)),
+            msg.BatchDeleteReply)
+        view = ops.BatchView(n_leaves=reply.n_leaves,
+                             target_slots=reply.target_slots,
+                             links=reply.links, leaf_mods=reply.leaf_mods)
+        # Client refusal rules (Theorem 2): the derived slot lists pin the
+        # view's shape, so only value-level checks remain.
+        ops.verify_batch_view(view)
+        if len(view.target_slots) != len(item_ids):
+            raise ProtocolError("one target slot per item required")
+        if len(reply.ciphertexts) != len(item_ids):
+            raise ProtocolError("one ciphertext per item required")
+
+        new_key = self.rng.bytes(self.params.master_key_size)
+        values_old, values_new = ops.chain_values_for_view(
+            self.engine, [master_key, new_key], view)
+        old_outputs = ops.batch_chain_outputs(self.engine, values_old, view)
+        decrypted = self.codec.decrypt_many(old_outputs,
+                                            list(reply.ciphertexts))
+        for item_id, (_message, recovered_id) in zip(item_ids, decrypted):
+            if recovered_id != item_id:
+                raise IntegrityError(
+                    f"server offered item {recovered_id} for deletion of "
+                    f"{item_id}; rejecting MT(S)")
+
+        retries = 0
+        while True:
+            # Re-pick if any deleted key would survive the key change
+            # (Theorem 2's "the client can simply pick a different K'").
+            new_outputs = ops.batch_chain_outputs(self.engine, values_new,
+                                                  view)
+            if any(new == old for new, old in zip(new_outputs, old_outputs)):
+                retries += 1
+                if retries > self.max_retries:
+                    raise ReproError("could not find a collision-free key")
+                new_key = self.rng.bytes(self.params.master_key_size)
+                values_new = ops.chain_values_for_view(self.engine,
+                                                       [new_key], view)[0]
+                continue
+            cut_slots, deltas = ops.compute_deltas_multi(view, values_old,
+                                                         values_new)
+            moves = ops.compute_batch_moves(self.engine, view, cut_slots,
+                                            deltas, values_old, values_new,
+                                            self.rng)
+            commit = msg.BatchDeleteCommit(
+                file_id=file_id, item_ids=item_ids, deltas=deltas,
+                moves=moves, tree_version=reply.tree_version)
+            # Journal before sending: if the Ack is lost, the server may
+            # already hold the delta-adjusted tree under new_key.
+            self._pending_batch_deletes[(file_id, item_ids)] = (commit,
+                                                                new_key)
+            try:
+                self._expect(self.channel.request(commit), msg.Ack)
+            except DuplicateModulatorError:
+                self._pending_batch_deletes.pop((file_id, item_ids), None)
+                retries += 1
+                if retries > self.max_retries:
+                    raise
+                new_key = self.rng.bytes(self.params.master_key_size)
+                values_new = ops.chain_values_for_view(self.engine,
+                                                       [new_key], view)[0]
+                continue
+            break
+
+        self._pending_batch_deletes.pop((file_id, item_ids), None)
+        if self.store_keys:
+            self.keystore.shred(self._key_name(file_id))
+            self.keystore.put(self._key_name(file_id), new_key)
+        self._finish("delete_many", begin, retries)
+        return new_key
+
+    def pending_batch_deletes(self) -> list[tuple[int, tuple[int, ...]]]:
+        """(file_id, item_ids) pairs whose batch commit is unconfirmed."""
+        return sorted(self._pending_batch_deletes)
+
+    def resume_delete_many(self, file_id: int,
+                           item_ids: Sequence[int]) -> bytes:
+        """Finalise a batched deletion whose Ack was lost in transit.
+
+        Same exactly-once resolution as :meth:`resume_delete`: the
+        journalled commit is resent byte-for-byte and the server's replay
+        cache answers retransmissions with the original Ack.
+        """
+        key = (file_id, tuple(item_ids))
+        entry = self._pending_batch_deletes.get(key)
+        if entry is None:
+            raise UnknownItemError(
+                f"no pending batch deletion for file {file_id} items "
+                f"{list(item_ids)}")
+        commit, new_key = entry
+        begin = self._begin()
+        self._expect(self.channel.request(commit), msg.Ack)
+        self._pending_batch_deletes.pop(key, None)
+        if self.store_keys:
+            self.keystore.shred(self._key_name(file_id))
+            self.keystore.put(self._key_name(file_id), new_key)
+        self._finish("resume_delete_many", begin)
         return new_key
 
     # ------------------------------------------------------------------

@@ -37,6 +37,18 @@ def xor_bytes(a: bytes, b: bytes) -> bytes:
     return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(len(a), "big")
 
 
+_BULK_MIN_BATCH: int | None = None
+
+
+def _bulk_min_batch() -> int:
+    """Batch-size threshold of the vectorised SHA-1 engine (lazy import)."""
+    global _BULK_MIN_BATCH
+    if _BULK_MIN_BATCH is None:
+        from repro.crypto.bulk_hash import MIN_BATCH
+        _BULK_MIN_BATCH = MIN_BATCH
+    return _BULK_MIN_BATCH
+
+
 class ChainEngine:
     """Evaluates modulated hash chains and counts hash invocations.
 
@@ -46,12 +58,17 @@ class ChainEngine:
     measured time (both scale as ``O(log n)``).
     """
 
-    __slots__ = ("hash_factory", "digest_size", "hash_calls")
+    __slots__ = ("hash_factory", "digest_size", "hash_calls", "_sha1_lanes")
 
     def __init__(self, hash_factory: HashFactory = Sha1) -> None:
         self.hash_factory = hash_factory
         self.digest_size = hash_factory().digest_size
         self.hash_calls = 0
+        # Capability check, not a name check: any factory that *is* Sha1
+        # (including an alias bound to another name) or subclasses it
+        # produces FIPS 180-4 SHA-1 digests and can ride the numpy lanes.
+        self._sha1_lanes = (isinstance(hash_factory, type)
+                            and issubclass(hash_factory, Sha1))
 
     def h(self, data: bytes) -> bytes:
         """One application of the chain hash ``H``."""
@@ -81,7 +98,7 @@ class ChainEngine:
         if len(values) != len(modulators):
             raise ValueError("one modulator per value required")
         self.hash_calls += len(values)
-        if self.hash_factory.__name__ == "Sha1" and len(values) >= 16:
+        if self._sha1_lanes and len(values) >= _bulk_min_batch():
             from repro.crypto.bulk_hash import sha1_many, xor_many
             return sha1_many(xor_many(values, modulators))
         results = []

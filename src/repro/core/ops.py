@@ -15,6 +15,11 @@ testable against the paper's Theorems 1 and 2.
   post-delta tree under the new master key (the two formulations agree;
   see DESIGN.md section 3, ablation 4 discussion).
 * :func:`compute_insertion` -- the Section IV-E leaf split.
+* :func:`verify_batch_view` / :func:`chain_values_for_view` /
+  :func:`compute_deltas_multi` / :func:`compute_batch_moves` -- the
+  batched-deletion pipeline over the union view ``MT(S)``: one key
+  rotation and one delta set compensate every leaf outside the batch,
+  and all chain evaluations ride the vectorised ``step_many`` lanes.
 * :func:`derive_all_keys` -- whole-file key derivation with shared
   prefixes (Table III's computation-overhead numerator).
 """
@@ -26,7 +31,8 @@ from typing import Optional, Sequence
 
 from repro.core.errors import DuplicateModulatorError, StructureError
 from repro.core.modulated_chain import ChainEngine, releaf_modulator, xor_bytes
-from repro.core.tree import BalanceView, MTView, PathView
+from repro.core.tree import (BalanceView, BatchView, ModulationTree, MTView,
+                             PathView)
 from repro.crypto.rng import RandomSource
 
 
@@ -36,6 +42,20 @@ class DeletionCommit:
 
     cut_slots: tuple[int, ...]
     deltas: tuple[bytes, ...]
+    x_s_prime: Optional[bytes]
+    dest_link: Optional[bytes]
+    dest_leaf: Optional[bytes]
+
+
+@dataclass(frozen=True)
+class BalanceMove:
+    """One rebalancing move of a batched deletion (Eqs. 8-9).
+
+    Field semantics are exactly those of
+    :meth:`repro.core.tree.ModulationTree.delete_leaf`; all three fields
+    are ``None`` for the degenerate one-leaf move.
+    """
+
     x_s_prime: Optional[bytes]
     dest_link: Optional[bytes]
     dest_leaf: Optional[bytes]
@@ -101,20 +121,32 @@ def compute_deltas(engine: ChainEngine, old_key: bytes, new_key: bytes,
     """Compute ``delta(c) = F(K, M_c) xor F(K', M_c)`` for the whole cut.
 
     Shares one prefix sweep along ``P(k)`` for each key, so the entire cut
-    costs ``O(log n)`` hashes exactly as Section IV-C argues.
+    costs ``O(log n)`` hashes exactly as Section IV-C argues.  The old-key
+    and new-key sweeps run as two lanes through :meth:`ChainEngine.step_many`
+    and all per-depth cut steps are issued as one batch, so a deep tree's
+    divergence steps ride the vectorised SHA-1 lanes.
     """
-    old_prefixes = engine.prefix_values(old_key, mt.path_links)
-    new_prefixes = engine.prefix_values(new_key, mt.path_links)
-    cut_slots = []
-    deltas = []
+    old_prefixes = [engine.pad_key(old_key)]
+    new_prefixes = [engine.pad_key(new_key)]
+    for link in mt.path_links:
+        stepped = engine.step_many([old_prefixes[-1], new_prefixes[-1]],
+                                   [link, link])
+        old_prefixes.append(stepped[0])
+        new_prefixes.append(stepped[1])
+
+    # Each cut node shares the first ``depth`` path links, then diverges
+    # through its own incoming link modulator: 2|cut| independent steps.
+    step_values = []
+    step_mods = []
     for depth, entry in enumerate(mt.cut):
-        # The cut node at this depth shares the first ``depth`` path links,
-        # then diverges through its own incoming link modulator.
-        old_value = engine.step(old_prefixes[depth], entry.link_mod)
-        new_value = engine.step(new_prefixes[depth], entry.link_mod)
-        cut_slots.append(entry.slot)
-        deltas.append(xor_bytes(old_value, new_value))
-    return tuple(cut_slots), tuple(deltas)
+        step_values.extend((old_prefixes[depth], new_prefixes[depth]))
+        step_mods.extend((entry.link_mod, entry.link_mod))
+    stepped = engine.step_many(step_values, step_mods)
+
+    cut_slots = tuple(entry.slot for entry in mt.cut)
+    deltas = tuple(xor_bytes(stepped[2 * i], stepped[2 * i + 1])
+                   for i in range(len(mt.cut)))
+    return cut_slots, deltas
 
 
 def _post_delta(value: bytes, slot: int, kind: str,
@@ -192,6 +224,198 @@ def compute_balance_values(
     new_prefix_t = engine.step(parent_k_value, dest_link)
     dest_leaf = releaf_modulator(new_prefix_t, old_prefix_t, t_leaf)
     return x_s_prime, dest_link, dest_leaf
+
+
+def verify_batch_view(view: BatchView) -> None:
+    """Client refusal rules for a batched deletion view (Theorem 2).
+
+    Shape cannot be forged -- the slot lists are derived locally from
+    ``(n_leaves, target_slots)`` -- so the checks are: the targets are
+    distinct leaves of the claimed tree, the modulator counts match the
+    derived slot lists exactly, and all modulator values are distinct.
+    """
+    n = view.n_leaves
+    targets = view.target_slots
+    if not targets:
+        raise StructureError("batch view carries no targets")
+    if len(set(targets)) != len(targets):
+        raise StructureError("batch targets must be distinct")
+    if len(targets) > n:
+        raise StructureError("more targets than leaves")
+    for slot in targets:
+        if not n <= slot <= 2 * n - 1:
+            raise StructureError(f"target slot {slot} is not a leaf of a "
+                                 f"{n}-leaf tree")
+    link_slots = ModulationTree.batch_link_slots(n, targets)
+    if len(view.links) != len(link_slots):
+        raise StructureError("one link modulator per derived link slot "
+                             "required")
+    leaf_slots = ModulationTree.batch_leaf_mod_slots(n, targets)
+    if len(view.leaf_mods) != len(leaf_slots):
+        raise StructureError("one leaf modulator per derived leaf slot "
+                             "required")
+    verify_distinct_modulators(view.all_modulators())
+
+
+def chain_values_for_view(engine: ChainEngine, master_keys: Sequence[bytes],
+                          view: BatchView) -> list[dict[int, bytes]]:
+    """Chain value at every view node, per key, in one multi-lane sweep.
+
+    Slots are visited in heap order (ascending slot number == level
+    order), each level issuing a single :meth:`ChainEngine.step_many`
+    call with one lane per master key, so the whole batch rides the
+    numpy SHA-1 lanes.  Returns one ``slot -> F(K, M_slot)`` dict per
+    key; hash count is ``len(link_slots)`` per key, identical to scalar
+    evaluation.
+    """
+    link_slots = ModulationTree.batch_link_slots(view.n_leaves,
+                                                 view.target_slots)
+    link_of = dict(zip(link_slots, view.links))
+    lanes: list[dict[int, bytes]] = [{1: engine.pad_key(key)}
+                                     for key in master_keys]
+    index = 0
+    while index < len(link_slots):
+        depth = link_slots[index].bit_length()
+        level = []
+        while (index < len(link_slots)
+               and link_slots[index].bit_length() == depth):
+            level.append(link_slots[index])
+            index += 1
+        values = []
+        mods = []
+        for lane in lanes:
+            for slot in level:
+                values.append(lane[slot // 2])
+                mods.append(link_of[slot])
+        stepped = engine.step_many(values, mods)
+        position = 0
+        for lane in lanes:
+            for slot in level:
+                lane[slot] = stepped[position]
+                position += 1
+    return lanes
+
+
+def batch_chain_outputs(engine: ChainEngine, values: dict[int, bytes],
+                        view: BatchView) -> list[bytes]:
+    """``F(K, M_k)`` for every target, batching the leaf-modulator steps."""
+    leaf_slots = ModulationTree.batch_leaf_mod_slots(view.n_leaves,
+                                                     view.target_slots)
+    leaf_of = dict(zip(leaf_slots, view.leaf_mods))
+    return engine.step_many([values[slot] for slot in view.target_slots],
+                            [leaf_of[slot] for slot in view.target_slots])
+
+
+def compute_deltas_multi(view: BatchView, values_old: dict[int, bytes],
+                         values_new: dict[int, bytes],
+                         ) -> tuple[tuple[int, ...], tuple[bytes, ...]]:
+    """Union-cut deltas (Eq. 5 over ``MT(S)``): one delta per cut node.
+
+    ``values_old`` / ``values_new`` come from
+    :func:`chain_values_for_view`; cut nodes are view nodes, so each delta
+    is a plain XOR of two already-computed chain values.  Cut slots are in
+    canonical (ascending) order -- the server derives the same order
+    itself, so they never travel on the wire.
+    """
+    cut_slots = tuple(ModulationTree.union_cut_slots(view.target_slots))
+    deltas = tuple(xor_bytes(values_old[slot], values_new[slot])
+                   for slot in cut_slots)
+    return cut_slots, deltas
+
+
+def compute_batch_moves(engine: ChainEngine, view: BatchView,
+                        cut_slots: Sequence[int], deltas: Sequence[bytes],
+                        values_old: dict[int, bytes],
+                        values_new: dict[int, bytes],
+                        rng: RandomSource) -> tuple[BalanceMove, ...]:
+    """Eqs. 8-9 for every rebalancing move of a batched deletion.
+
+    The client simulates the server's ``k`` sequential
+    :meth:`~repro.core.tree.ModulationTree.delete_leaf` calls (same item
+    order) against the post-delta tree under the new key alone.  Two
+    invariants make this cheap:
+
+    * post-delta chain values need no recomputation per move -- a move
+      only ever writes link modulators at slots that are leaves from then
+      on, and leaves are never ancestors of later-queried internal nodes,
+      so every needed chain value is a lookup into the one sweep already
+      done (new-key values on the union path and at cut nodes, old-key
+      values strictly below the cut, where the deltas preserve them);
+    * modulators *are* rewritten by moves, so the band's link/leaf values
+      go through a write-through mirror.
+    """
+    n = view.n_leaves
+    targets = view.target_slots
+    delta_of = dict(zip(cut_slots, deltas))
+    path_set = set(ModulationTree.union_path_slots(targets))
+
+    def star(slot: int) -> bytes:
+        """Post-delta chain value under the new key at a view node."""
+        if slot in path_set or slot // 2 in path_set:
+            return values_new[slot]
+        return values_old[slot]
+
+    links: dict[int, bytes] = {}
+    for slot, value in zip(ModulationTree.batch_link_slots(n, targets),
+                           view.links):
+        delta = delta_of.get(slot // 2)
+        links[slot] = xor_bytes(value, delta) if delta is not None else value
+    leaves: dict[int, bytes] = {}
+    for slot, value in zip(ModulationTree.batch_leaf_mod_slots(n, targets),
+                           view.leaf_mods):
+        delta = delta_of.get(slot)
+        leaves[slot] = xor_bytes(value, delta) if delta is not None else value
+
+    owner = {slot: index for index, slot in enumerate(targets)}
+    current = list(targets)
+    moves: list[BalanceMove] = []
+    m = n
+    for index in range(len(targets)):
+        slot_k = current[index]
+        del owner[slot_k]
+        if m == 1:
+            moves.append(BalanceMove(None, None, None))
+            m = 0
+            continue
+        t_slot, s_slot, p_slot = 2 * m - 1, 2 * m - 2, m - 1
+        parent_value = star(p_slot)
+
+        # Eq. 8: s takes over p's slot; its prefix shortens by one link.
+        old_prefix_s = engine.step(parent_value, links[s_slot])
+        x_s_prime = releaf_modulator(parent_value, old_prefix_s,
+                                     leaves[s_slot])
+        if s_slot in owner:
+            moved = owner.pop(s_slot)
+            owner[p_slot] = moved
+            current[moved] = p_slot
+        leaves[p_slot] = x_s_prime
+
+        if slot_k == t_slot:
+            moves.append(BalanceMove(x_s_prime, None, None))
+        else:
+            dest = p_slot if slot_k == s_slot else slot_k
+            old_prefix_t = engine.step(parent_value, links[t_slot])
+            if dest == p_slot:
+                # t takes over the collapsed parent slot, inheriting its
+                # incoming link (or landing on the root for m == 2).
+                dest_link = None
+                new_prefix_t = parent_value
+            else:
+                # Eq. 9: t lands on k's slot under a fresh client-chosen
+                # link modulator.
+                dest_link = rng.bytes(engine.digest_size)
+                new_prefix_t = engine.step(star(dest // 2), dest_link)
+                links[dest] = dest_link
+            dest_leaf = releaf_modulator(new_prefix_t, old_prefix_t,
+                                         leaves[t_slot])
+            if t_slot in owner:
+                moved = owner.pop(t_slot)
+                owner[dest] = moved
+                current[moved] = dest
+            leaves[dest] = dest_leaf
+            moves.append(BalanceMove(x_s_prime, dest_link, dest_leaf))
+        m -= 1
+    return tuple(moves)
 
 
 def compute_insertion(engine: ChainEngine, master_key: bytes,

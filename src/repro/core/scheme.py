@@ -60,5 +60,9 @@ class LocalScheme:
         """Assuredly delete one item (master key rotation is internal)."""
         self.client.delete(file_id, self._key(file_id), item_id)
 
+    def delete_many(self, file_id: int, item_ids: Sequence[int]) -> None:
+        """Assuredly delete a batch of items in one exchange."""
+        self.client.delete_many(file_id, self._key(file_id), item_ids)
+
     def fetch_file(self, file_id: int) -> dict[int, bytes]:
         return self.client.fetch_file(file_id, self._key(file_id))

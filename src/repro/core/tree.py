@@ -36,7 +36,7 @@ roll back a transaction that would introduce a duplicate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 from repro.core.errors import StructureError, UnknownItemError
 from repro.core.modstore import DenseModulatorStore, ModulatorStore
@@ -100,6 +100,38 @@ class PathView:
     def modulator_list(self) -> list[bytes]:
         """The ordered list ``M_k`` = path links + leaf modulator."""
         return list(self.path_links) + [self.leaf_mod]
+
+
+@dataclass(frozen=True)
+class BatchView:
+    """The union subtree ``MT(S)`` plus balance band for a batched deletion.
+
+    Slot lists are deliberately *not* part of the view: both parties derive
+    the node set deterministically from ``(n_leaves, target_slots)`` via
+    :meth:`ModulationTree.batch_link_slots` and
+    :meth:`ModulationTree.batch_leaf_mod_slots`.  The server therefore
+    cannot misrepresent the tree shape, and no slot list travels on the
+    wire -- only modulator values do.  ``links[i]`` belongs to the i-th
+    derived link slot (slot-ascending), ``leaf_mods[i]`` to the i-th
+    derived leaf-modulator slot.
+
+    ``target_slots`` is aligned with the requested item-id order; the
+    rebalancing moves are applied in exactly that order.
+    """
+
+    n_leaves: int
+    target_slots: tuple[int, ...]
+    links: tuple[bytes, ...]
+    leaf_mods: tuple[bytes, ...]
+
+    def all_modulators(self) -> list[bytes]:
+        """Every modulator in the view, for the distinctness check.
+
+        Every entry sits at a distinct ``(kind, slot)`` location by
+        construction (the derived slot lists are duplicate-free), so plain
+        value distinctness over this list is the full Theorem-2 check.
+        """
+        return list(self.links) + list(self.leaf_mods)
 
 
 @dataclass(frozen=True)
@@ -326,6 +358,80 @@ class ModulationTree:
         path.reverse()
         return path
 
+    @staticmethod
+    def union_path_slots(target_slots: Sequence[int]) -> list[int]:
+        """Sorted union of the root-to-leaf paths of ``target_slots``."""
+        seen: set[int] = set()
+        for slot in target_slots:
+            while slot >= 1 and slot not in seen:
+                seen.add(slot)
+                slot //= 2
+        return sorted(seen)
+
+    @staticmethod
+    def union_cut_slots(target_slots: Sequence[int]) -> list[int]:
+        """Sorted ``(n-k)``-cut of the union path: its off-path children.
+
+        Generalises the single-deletion ``(n-1)``-cut: a slot is in the
+        cut iff it is not on any target's path but its parent is.  One
+        delta per cut node compensates the key change for *every* leaf
+        outside the batch at once (Eq. 5 applied to the union).
+        """
+        path: set[int] = set()
+        for slot in target_slots:
+            while slot >= 1 and slot not in path:
+                path.add(slot)
+                slot //= 2
+        return sorted(s ^ 1 for s in path if s >= 2 and (s ^ 1) not in path)
+
+    @staticmethod
+    def batch_band_slots(n_leaves: int, batch_size: int) -> range:
+        """Balance band: every slot the batch's rebalancing moves touch.
+
+        Move ``i`` (tree size ``m = n - i``) reads or writes ``t = 2m-1``,
+        ``s = 2m-2`` and their parent ``p = m-1``; over ``batch_size``
+        moves the leaves involved are exactly the last ``2k`` slots (the
+        ``p`` slots are reached through the ancestor closure).
+        """
+        if n_leaves <= 0:
+            return range(0)
+        return range(max(2, 2 * (n_leaves - batch_size)), 2 * n_leaves)
+
+    @classmethod
+    def batch_link_slots(cls, n_leaves: int,
+                         target_slots: Sequence[int]) -> list[int]:
+        """Sorted link slots of the batch view (derived, never shipped).
+
+        The node set is the ancestor closure of ``targets + band`` plus
+        the union cut; every member except the root carries one link
+        modulator.  Closure of the cut is free: cut parents are path
+        nodes by definition.
+        """
+        seen: set[int] = set()
+        band = cls.batch_band_slots(n_leaves, len(target_slots))
+        for start in (*target_slots, *band):
+            slot = start
+            while slot >= 1 and slot not in seen:
+                seen.add(slot)
+                slot //= 2
+        seen.update(cls.union_cut_slots(target_slots))
+        return sorted(s for s in seen if s >= 2)
+
+    @classmethod
+    def batch_leaf_mod_slots(cls, n_leaves: int,
+                             target_slots: Sequence[int]) -> list[int]:
+        """Sorted slots whose leaf modulator the batch view must carry.
+
+        Targets (decrypt-verification) plus the band's leaf slots (the
+        rebalancing mirror); cut leaf modulators are *not* needed -- the
+        deltas only use cut link modulators.
+        """
+        slots = set(target_slots)
+        for slot in cls.batch_band_slots(n_leaves, len(target_slots)):
+            if slot >= n_leaves:
+                slots.add(slot)
+        return sorted(slots)
+
     # ------------------------------------------------------------------
     # Views shipped to the client
     # ------------------------------------------------------------------
@@ -368,6 +474,28 @@ class ModulationTree:
             s_link_mod=self._store.get_link(s_slot),
             s_leaf_mod=self._store.get_leaf(s_slot),
         )
+
+    def batch_view(self, target_slots: Sequence[int]) -> BatchView:
+        """The batched-deletion view ``MT(S)`` plus balance band.
+
+        One round trip replaces ``k`` sequential challenge exchanges: the
+        view carries every modulator the client needs to compute the
+        union-cut deltas *and* simulate all ``k`` rebalancing moves
+        locally.
+        """
+        targets = tuple(target_slots)
+        if len(set(targets)) != len(targets):
+            raise StructureError("batch targets must be distinct")
+        for slot in targets:
+            if not self.is_leaf(slot):
+                raise StructureError(f"slot {slot} is not a leaf")
+        n = self._n
+        links = tuple(self._store.get_link(s)
+                      for s in self.batch_link_slots(n, targets))
+        leaf_mods = tuple(self._store.get_leaf(s)
+                          for s in self.batch_leaf_mod_slots(n, targets))
+        return BatchView(n_leaves=n, target_slots=targets, links=links,
+                         leaf_mods=leaf_mods)
 
     def insert_view(self) -> Optional[PathView]:
         """Path to the leaf that an insertion will split (``None`` if empty)."""

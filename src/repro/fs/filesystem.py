@@ -110,6 +110,30 @@ class OutsourcedFile:
         meta.replace_master_key(self._record.file_id, new_key)
         self._record.index.remove(position)
 
+    def delete_many(self, positions: Sequence[int]) -> None:
+        """Assuredly delete the records at several logical positions.
+
+        One batched exchange replaces per-record deletions: the file's
+        master key rotates once and the meta tree is updated once, so a
+        retention sweep over a file costs one round-trip pair end to end.
+        """
+        positions = list(positions)
+        if not positions:
+            return
+        if len(set(positions)) != len(positions):
+            raise ReproError("positions must be distinct")
+        item_ids = [self._record.index.item_id_at(position)
+                    for position in positions]
+        meta = self._meta()
+        key = meta.master_key(self._record.file_id)
+        new_key = self._fs.client.delete_many(self._record.file_id, key,
+                                              item_ids)
+        meta.replace_master_key(self._record.file_id, new_key)
+        # Remove positions highest-first so earlier removals don't shift
+        # the later ones.
+        for position in sorted(positions, reverse=True):
+            self._record.index.remove(position)
+
     def locate(self, offset: int) -> Located:
         """Resolve a byte offset to its record (paper footnote 2)."""
         return self._record.index.locate(offset)

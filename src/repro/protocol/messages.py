@@ -12,6 +12,8 @@ Operations map to messages as follows (client -> server -> client):
               ``InsertCommit`` -> ``Ack``
 * whole file: ``FetchFileRequest`` -> ``FetchFileReply``
 * drop file:  ``DeleteFileRequest`` -> ``Ack``
+* batch delete: ``BatchDeleteRequest`` -> ``BatchDeleteReply`` then
+              ``BatchDeleteCommit`` -> ``Ack``
 
 Any failure is an ``ErrorReply``.  ``payload_bytes()`` reports how many of
 a message's encoded bytes are item content (ciphertexts); the accounting
@@ -25,6 +27,7 @@ from dataclasses import dataclass
 from typing import ClassVar, Optional, Type
 
 from repro.core.errors import ProtocolError
+from repro.core.ops import BalanceMove
 from repro.core.tree import BalanceView, CutEntry, MTView, PathView
 from repro.protocol.wire import Reader, WireContext, Writer
 
@@ -200,9 +203,7 @@ class OutsourceRequest(Message):
         w.u64_list(self.item_ids)
         w.modulator_list(self.links)
         w.modulator_list(self.leaves)
-        w.u32(len(self.ciphertexts))
-        for ciphertext in self.ciphertexts:
-            w.blob(ciphertext)
+        w.blob_list(self.ciphertexts)
 
     @classmethod
     def decode_body(cls, r: Reader) -> "OutsourceRequest":
@@ -210,7 +211,7 @@ class OutsourceRequest(Message):
         item_ids = tuple(r.u64_list())
         links = tuple(r.modulator_list())
         leaves = tuple(r.modulator_list())
-        ciphertexts = tuple(r.blob() for _ in range(r.u32()))
+        ciphertexts = tuple(r.blob_list())
         return cls(file_id=file_id, item_ids=item_ids, links=links,
                    leaves=leaves, ciphertexts=ciphertexts)
 
@@ -481,9 +482,7 @@ class FetchFileReply(Message):
         w.u64_list(self.item_ids)
         w.modulator_list(self.links)
         w.modulator_list(self.leaves)
-        w.u32(len(self.ciphertexts))
-        for ciphertext in self.ciphertexts:
-            w.blob(ciphertext)
+        w.blob_list(self.ciphertexts)
         w.u64(self.tree_version)
 
     @classmethod
@@ -492,7 +491,7 @@ class FetchFileReply(Message):
         item_ids = tuple(r.u64_list())
         links = tuple(r.modulator_list())
         leaves = tuple(r.modulator_list())
-        ciphertexts = tuple(r.blob() for _ in range(r.u32()))
+        ciphertexts = tuple(r.blob_list())
         return cls(n_leaves=n_leaves, item_ids=item_ids, links=links,
                    leaves=leaves, ciphertexts=ciphertexts,
                    tree_version=r.u64())
@@ -520,3 +519,108 @@ class DeleteFileRequest(Message):
     @classmethod
     def decode_body(cls, r: Reader) -> "DeleteFileRequest":
         return cls(file_id=r.u64())
+
+
+@register
+@dataclass(frozen=True)
+class BatchDeleteRequest(Message):
+    """Start a batched deletion: ask for the union view ``MT(S)``."""
+
+    TYPE: ClassVar[int] = 16
+    file_id: int = 0
+    item_ids: tuple[int, ...] = ()
+
+    def encode_body(self, w: Writer) -> None:
+        w.u64(self.file_id)
+        w.u64_list(self.item_ids)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "BatchDeleteRequest":
+        return cls(file_id=r.u64(), item_ids=tuple(r.u64_list()))
+
+
+@register
+@dataclass(frozen=True)
+class BatchDeleteReply(Message):
+    """The batch view ``MT(S)`` plus the targets' ciphertexts.
+
+    ``target_slots[i]`` is the leaf slot of the ``i``-th requested item and
+    ``ciphertexts[i]`` its ciphertext.  ``links`` and ``leaf_mods`` carry no
+    slot numbers: both sides derive the slot lists deterministically from
+    ``(n_leaves, target_slots)`` via
+    :meth:`~repro.core.tree.ModulationTree.batch_link_slots` /
+    :meth:`~repro.core.tree.ModulationTree.batch_leaf_mod_slots` and the
+    modulators are in that ascending-slot order, so the server cannot
+    misrepresent the view's shape and the message stays lean.
+    """
+
+    TYPE: ClassVar[int] = 17
+    n_leaves: int = 0
+    target_slots: tuple[int, ...] = ()
+    links: tuple[bytes, ...] = ()
+    leaf_mods: tuple[bytes, ...] = ()
+    ciphertexts: tuple[bytes, ...] = ()
+    tree_version: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        w.u64(self.n_leaves)
+        w.u64_list(self.target_slots)
+        w.modulator_list(self.links)
+        w.modulator_list(self.leaf_mods)
+        w.blob_list(self.ciphertexts)
+        w.u64(self.tree_version)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "BatchDeleteReply":
+        return cls(n_leaves=r.u64(),
+                   target_slots=tuple(r.u64_list()),
+                   links=tuple(r.modulator_list()),
+                   leaf_mods=tuple(r.modulator_list()),
+                   ciphertexts=tuple(r.blob_list()),
+                   tree_version=r.u64())
+
+    def payload_bytes(self) -> int:
+        return sum(4 + len(c) for c in self.ciphertexts)
+
+
+@register
+@dataclass(frozen=True)
+class BatchDeleteCommit(Message):
+    """Deltas plus one rebalancing move per deleted item.
+
+    ``deltas`` carries no cut slots: it is in canonical ascending order of
+    :meth:`~repro.core.tree.ModulationTree.union_cut_slots`, which the
+    server re-derives from the item set itself.  ``moves[i]`` rebalances the
+    tree after deleting ``item_ids[i]`` (same order), with the
+    ``delete_leaf`` convention for absent fields.
+    """
+
+    TYPE: ClassVar[int] = 18
+    file_id: int = 0
+    item_ids: tuple[int, ...] = ()
+    deltas: tuple[bytes, ...] = ()
+    moves: tuple[BalanceMove, ...] = ()
+    tree_version: int = 0
+
+    def encode_body(self, w: Writer) -> None:
+        w.u64(self.file_id)
+        w.u64_list(self.item_ids)
+        w.modulator_list(self.deltas)
+        w.u32(len(self.moves))
+        for move in self.moves:
+            w.opt_modulator(move.x_s_prime)
+            w.opt_modulator(move.dest_link)
+            w.opt_modulator(move.dest_leaf)
+        w.u64(self.tree_version)
+
+    @classmethod
+    def decode_body(cls, r: Reader) -> "BatchDeleteCommit":
+        file_id = r.u64()
+        item_ids = tuple(r.u64_list())
+        deltas = tuple(r.modulator_list())
+        moves = tuple(BalanceMove(x_s_prime=r.opt_modulator(),
+                                  dest_link=r.opt_modulator(),
+                                  dest_leaf=r.opt_modulator())
+                      for _ in range(r.u32()))
+        return cls(file_id=file_id, item_ids=item_ids, deltas=deltas,
+                   moves=moves, tree_version=r.u64())

@@ -79,6 +79,12 @@ class Writer:
             self.u64(value)
         return self
 
+    def blob_list(self, values: Sequence[bytes]) -> "Writer":
+        self.u32(len(values))
+        for value in values:
+            self.blob(value)
+        return self
+
     def text(self, value: str) -> "Writer":
         return self.blob(value.encode("utf-8"))
 
@@ -127,6 +133,9 @@ class Reader:
 
     def u64_list(self) -> list[int]:
         return [self.u64() for _ in range(self.u32())]
+
+    def blob_list(self) -> list[bytes]:
+        return [self.blob() for _ in range(self.u32())]
 
     def text(self) -> str:
         return self.blob().decode("utf-8")

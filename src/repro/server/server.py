@@ -18,7 +18,7 @@ server is modelled separately in :mod:`repro.server.adversary`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.errors import ReproError, UnknownItemError
 from repro.core.params import Params
@@ -72,6 +72,8 @@ class CloudServer:
             msg.ModifyCommit: self._on_modify,
             msg.DeleteRequest: self._on_delete_request,
             msg.DeleteCommit: self._on_delete_commit,
+            msg.BatchDeleteRequest: self._on_batch_delete_request,
+            msg.BatchDeleteCommit: self._on_batch_delete_commit,
             msg.InsertRequest: self._on_insert_request,
             msg.InsertCommit: self._on_insert_commit,
             msg.FetchFileRequest: self._on_fetch_file,
@@ -282,6 +284,137 @@ class CloudServer:
         if state.registry is not None:
             self._registry_apply(state.registry, structure_log)
         state.ciphertexts.delete(request.item_id)
+        state.version += 1
+        ack = msg.Ack(tree_version=state.version)
+        self._remember_commit(state, request, ack)
+        return ack
+
+    def _on_batch_delete_request(self,
+                                 request: msg.BatchDeleteRequest) -> msg.Message:
+        state = self.file_state(request.file_id)
+        if not request.item_ids:
+            raise ReproError("empty batch")
+        if len(set(request.item_ids)) != len(request.item_ids):
+            raise ReproError("batch item ids must be distinct")
+        tree = state.tree
+        slots = tuple(tree.slot_of_item(item_id)
+                      for item_id in request.item_ids)
+        view = tree.batch_view(slots)
+        ciphertexts = tuple(state.ciphertexts.get(item_id)
+                            for item_id in request.item_ids)
+        return msg.BatchDeleteReply(n_leaves=view.n_leaves,
+                                    target_slots=view.target_slots,
+                                    links=view.links,
+                                    leaf_mods=view.leaf_mods,
+                                    ciphertexts=ciphertexts,
+                                    tree_version=state.version)
+
+    @staticmethod
+    def _validate_batch_moves(tree: ModulationTree,
+                              item_ids: Sequence[int],
+                              moves: Sequence["msg.BalanceMove"]) -> None:
+        """Dry-run the batch's ``delete_leaf`` sequence without mutating.
+
+        Replays the exact argument-shape checks and item relocations of
+        :meth:`~repro.core.tree.ModulationTree.delete_leaf` for every move
+        so the real applications below cannot fail halfway through -- the
+        batch commit stays all-or-nothing.
+        """
+        current = {item_id: tree.slot_of_item(item_id)
+                   for item_id in item_ids}
+        owner = {slot: item_id for item_id, slot in current.items()}
+        m = tree.leaf_count
+        for item_id, move in zip(item_ids, moves):
+            if m < 1:
+                raise ReproError("more deletions than leaves")
+            slot_k = current[item_id]
+            if not m <= slot_k <= 2 * m - 1:
+                raise ReproError(f"slot {slot_k} is not a leaf of the "
+                                 f"current tree")
+            owner.pop(slot_k, None)
+            if m == 1:
+                if (move.x_s_prime is not None or move.dest_link is not None
+                        or move.dest_leaf is not None):
+                    raise ReproError("last-leaf move carries no modulators")
+                m = 0
+                continue
+            t_slot, s_slot, p_slot = 2 * m - 1, 2 * m - 2, m - 1
+            if move.x_s_prime is None:
+                raise ReproError("balancing value x_s' required for n >= 2")
+            if s_slot in owner:
+                moved = owner.pop(s_slot)
+                owner[p_slot] = moved
+                current[moved] = p_slot
+            if slot_k == t_slot:
+                if move.dest_link is not None or move.dest_leaf is not None:
+                    raise ReproError("k == t move carries only x_s'")
+            else:
+                if move.dest_leaf is None:
+                    raise ReproError("balancing value x_t' required when "
+                                     "k != t")
+                dest = p_slot if slot_k == s_slot else slot_k
+                if dest == p_slot or dest == 1:
+                    if move.dest_link is not None:
+                        raise ReproError("dest link must be omitted when t "
+                                         "inherits a slot's link")
+                elif move.dest_link is None:
+                    raise ReproError("fresh link modulator required")
+                if t_slot in owner:
+                    moved = owner.pop(t_slot)
+                    owner[dest] = moved
+                    current[moved] = dest
+            m -= 1
+
+    def _on_batch_delete_commit(self,
+                                request: msg.BatchDeleteCommit) -> msg.Message:
+        state = self.file_state(request.file_id)
+        replayed = self._check_replay(state, request)
+        if replayed is not None:
+            return replayed
+        if request.tree_version != state.version:
+            return msg.ErrorReply(code=msg.E_STALE_STATE,
+                                  detail="tree changed since batch view")
+        tree = state.tree
+        item_ids = request.item_ids
+        if not item_ids:
+            raise ReproError("empty batch")
+        if len(set(item_ids)) != len(item_ids):
+            raise ReproError("batch item ids must be distinct")
+        if len(request.moves) != len(item_ids):
+            raise ReproError("one rebalancing move per deleted item required")
+        slots = tuple(tree.slot_of_item(item_id) for item_id in item_ids)
+
+        # The cut is derived, not trusted: same canonical order as the
+        # client's compute_deltas_multi.
+        cut_slots = ModulationTree.union_cut_slots(slots)
+        if len(request.deltas) != len(cut_slots):
+            raise ReproError("one delta per union-cut node required")
+
+        fresh = [value for move in request.moves
+                 for value in (move.x_s_prime, move.dest_link, move.dest_leaf)]
+        if self._fresh_values_clash(state, fresh):
+            return msg.ErrorReply(code=msg.E_DUPLICATE_MODULATOR,
+                                  detail="balancing modulators collide; retry "
+                                         "with fresh randomness")
+
+        self._validate_batch_moves(tree, item_ids, request.moves)
+
+        delta_log = tree.apply_deltas(list(cut_slots), list(request.deltas))
+        if state.registry is not None:
+            if not self._registry_apply(state.registry, delta_log):
+                self._registry_revert(state.registry, delta_log)
+                tree.rollback(delta_log)
+                return msg.ErrorReply(code=msg.E_DUPLICATE_MODULATOR,
+                                      detail="delta application produced a "
+                                             "duplicate; retry with a new key")
+
+        for item_id, move in zip(item_ids, request.moves):
+            slot = tree.slot_of_item(item_id)
+            structure_log = tree.delete_leaf(slot, move.x_s_prime,
+                                             move.dest_link, move.dest_leaf)
+            if state.registry is not None:
+                self._registry_apply(state.registry, structure_log)
+            state.ciphertexts.delete(item_id)
         state.version += 1
         ack = msg.Ack(tree_version=state.version)
         self._remember_commit(state, request, ack)

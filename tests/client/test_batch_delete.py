@@ -1,0 +1,242 @@
+"""End-to-end batched deletion: one rotation, one round-trip pair.
+
+Covers the tentpole's client/server contract: batch-vs-sequential
+equivalence, atomic versioning, the Theorem-2 refusal rules against a
+lying server, and the wire-lean shape (no slot lists on the wire).
+"""
+
+import pytest
+
+from repro.client.client import AssuredDeletionClient
+from repro.core.errors import (IntegrityError, ReproError, UnknownItemError)
+from repro.core.scheme import LocalScheme
+from repro.core.tree import ModulationTree
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol import messages as msg
+from repro.protocol.channel import LoopbackChannel
+from repro.server.server import CloudServer
+from tests.conftest import make_scheme
+
+
+def outsourced(n=10, seed="batch"):
+    scheme = make_scheme(seed)
+    items = [b"item-%d" % i for i in range(n)]
+    fid, ids = scheme.new_file(items)
+    return scheme, fid, ids, items
+
+
+@pytest.mark.parametrize("positions", [
+    [0], [3, 7], [0, 9, 5], [8, 9], list(range(10)),
+])
+def test_batch_delete_survivors_and_victims(positions):
+    scheme, fid, ids, items = outsourced()
+    victims = [ids[p] for p in positions]
+    scheme.delete_many(fid, victims)
+    survivors = {ids[i]: items[i] for i in range(10) if i not in positions}
+    if survivors:
+        assert scheme.fetch_file(fid) == survivors
+    for victim in victims:
+        with pytest.raises(UnknownItemError):
+            scheme.access(fid, victim)
+
+
+def test_batch_bumps_version_once_and_shrinks_tree():
+    scheme, fid, ids, _items = outsourced()
+    state = scheme.server.file_state(fid)
+    assert state.version == 0
+    scheme.delete_many(fid, [ids[1], ids[4], ids[8]])
+    assert state.version == 1
+    assert state.tree.leaf_count == 7
+
+
+def test_batch_is_one_round_trip_pair():
+    scheme, fid, ids, _items = outsourced()
+    scheme.delete_many(fid, [ids[0], ids[5]])
+    record = scheme.metrics.for_op("delete_many")[-1]
+    assert record.round_trips == 2  # view fetch + commit, regardless of k
+    assert record.retries == 0
+
+
+def test_no_slot_lists_travel_on_the_wire():
+    """Both commit directions derive slot sets locally: the reply carries
+    only the targets' slots, the commit only item ids -- every other slot
+    number is recomputed from (n_leaves, target_slots)."""
+    scheme, fid, ids, _items = outsourced()
+    sent = []
+    original = scheme.channel.request
+
+    def spy(message):
+        sent.append(message)
+        return original(message)
+
+    scheme.channel.request = spy
+    scheme.delete_many(fid, [ids[2], ids[6], ids[7]])
+    commit = next(m for m in sent if isinstance(m, msg.BatchDeleteCommit))
+    assert not hasattr(commit, "cut_slots")
+    assert len(commit.deltas) == len(
+        ModulationTree.union_cut_slots(
+            tuple(19 if i == 9 else 10 + i for i in (2, 6, 7))))
+
+
+def test_empty_batch_is_a_no_op():
+    scheme, fid, ids, items = outsourced()
+    key_before = scheme.client.keystore.get(f"master:{fid}")
+    scheme.delete_many(fid, [])
+    assert scheme.client.keystore.get(f"master:{fid}") == key_before
+    assert scheme.metrics.for_op("delete_many") == []
+
+
+def test_duplicate_ids_rejected_client_side():
+    scheme, fid, ids, _items = outsourced()
+    with pytest.raises(ReproError):
+        scheme.delete_many(fid, [ids[0], ids[0]])
+
+
+def test_unknown_item_rejected():
+    scheme, fid, ids, _items = outsourced()
+    with pytest.raises(UnknownItemError):
+        scheme.delete_many(fid, [ids[0], 999999])
+    # Nothing was deleted: the failure happened before the commit.
+    assert scheme.server.file_state(fid).tree.leaf_count == 10
+
+
+def test_batch_equals_sequential_plaintexts():
+    batch, bfid, bids, items = outsourced(seed="pair")
+    seq, sfid, sids, _ = outsourced(seed="pair")
+    positions = [1, 6, 3]
+    batch.delete_many(bfid, [bids[p] for p in positions])
+    for p in positions:
+        seq.delete(sfid, sids[p])
+    survivors = [i for i in range(10) if i not in positions]
+    got_batch = batch.fetch_file(bfid)
+    got_seq = seq.fetch_file(sfid)
+    assert [got_batch[bids[i]] for i in survivors] == \
+        [got_seq[sids[i]] for i in survivors] == \
+        [items[i] for i in survivors]
+
+
+def test_mixed_batch_and_single_deletions_interoperate():
+    scheme, fid, ids, items = outsourced(n=12, seed="mixed")
+    scheme.delete(fid, ids[3])
+    scheme.delete_many(fid, [ids[0], ids[11], ids[7]])
+    scheme.delete(fid, ids[5])
+    scheme.insert(fid, b"fresh")
+    survivors = {i for i in range(12) if i not in (3, 0, 11, 7, 5)}
+    for i in survivors:
+        assert scheme.access(fid, ids[i]) == items[i]
+
+
+def test_stale_version_rejected():
+    scheme, fid, ids, _items = outsourced()
+    client = scheme.client
+    key = client.keystore.get(f"master:{fid}")
+    reply = client._expect(
+        client.channel.request(
+            msg.BatchDeleteRequest(file_id=fid, item_ids=(ids[0], ids[1]))),
+        msg.BatchDeleteReply)
+    # Interleave a deletion so the fetched view goes stale.
+    scheme.delete(fid, ids[5])
+    commit = msg.BatchDeleteCommit(file_id=fid, item_ids=(ids[0], ids[1]),
+                                   deltas=(), moves=(),
+                                   tree_version=reply.tree_version)
+    response = client.channel.request(commit)
+    assert isinstance(response, msg.ErrorReply)
+    assert response.code == msg.E_STALE_STATE
+
+
+def test_server_rejects_malformed_batch_commits():
+    scheme, fid, ids, _items = outsourced()
+    state = scheme.server.file_state(fid)
+
+    def error_of(**overrides):
+        fields = dict(file_id=fid, item_ids=(ids[0], ids[1]),
+                      deltas=(), moves=(), tree_version=state.version)
+        fields.update(overrides)
+        response = scheme.server.handle(msg.BatchDeleteCommit(**fields))
+        assert isinstance(response, msg.ErrorReply), fields
+        return response.code
+
+    assert error_of() == msg.E_BAD_REQUEST                # no deltas/moves
+    assert error_of(item_ids=()) == msg.E_BAD_REQUEST     # empty batch
+    assert error_of(item_ids=(ids[0], ids[0])) == msg.E_BAD_REQUEST
+    # Nothing was applied by any of the rejects.
+    assert state.tree.leaf_count == 10
+    assert state.version == 0
+
+
+def test_client_rejects_wrong_ciphertext():
+    """A server returning someone else's ciphertext for a target fails
+    decrypt-verification and the client refuses to continue."""
+    scheme, fid, ids, _items = outsourced()
+
+    class LyingChannel:
+        def __init__(self, inner):
+            self.inner = inner
+            self.counters = inner.counters
+
+        def request(self, message):
+            reply = self.inner.request(message)
+            if isinstance(reply, msg.BatchDeleteReply):
+                swapped = (reply.ciphertexts[1], reply.ciphertexts[0])
+                reply = msg.BatchDeleteReply(
+                    n_leaves=reply.n_leaves,
+                    target_slots=reply.target_slots,
+                    links=reply.links, leaf_mods=reply.leaf_mods,
+                    ciphertexts=swapped, tree_version=reply.tree_version)
+            return reply
+
+    scheme.client.channel = LyingChannel(scheme.channel)
+    with pytest.raises(IntegrityError):
+        scheme.delete_many(fid, [ids[0], ids[1]])
+    assert scheme.server.file_state(fid).tree.leaf_count == 10
+
+
+def test_client_rejects_duplicate_modulators_in_view():
+    """Theorem 2 refusal rule: a view with two equal modulators is
+    rejected before any key material is used."""
+    scheme, fid, ids, _items = outsourced()
+
+    class DupChannel:
+        def __init__(self, inner):
+            self.inner = inner
+            self.counters = inner.counters
+
+        def request(self, message):
+            reply = self.inner.request(message)
+            if isinstance(reply, msg.BatchDeleteReply):
+                links = list(reply.links)
+                links[1] = links[0]
+                reply = msg.BatchDeleteReply(
+                    n_leaves=reply.n_leaves,
+                    target_slots=reply.target_slots,
+                    links=tuple(links), leaf_mods=reply.leaf_mods,
+                    ciphertexts=reply.ciphertexts,
+                    tree_version=reply.tree_version)
+            return reply
+
+    scheme.client.channel = DupChannel(scheme.channel)
+    with pytest.raises(Exception):
+        scheme.delete_many(fid, [ids[0], ids[1]])
+
+
+def test_filesystem_delete_many_rotates_meta_once():
+    from repro.fs.filesystem import OutsourcedFileSystem
+    fs = OutsourcedFileSystem(rng=DeterministicRandom("fs-batch"))
+    handle = fs.create_file("logs/app", [b"rec-%d" % i for i in range(8)])
+    handle.delete_many([0, 2, 5])
+    assert handle.record_count == 5
+    assert handle.read_record(0) == b"rec-1"
+    assert handle.read_record(1) == b"rec-3"
+    assert handle.read_record(4) == b"rec-7"
+
+
+def test_delete_many_store_keys_rotation():
+    server = CloudServer()
+    client = AssuredDeletionClient(LoopbackChannel(server),
+                                   rng=DeterministicRandom("rotate"))
+    old_key = client.outsource(1, [b"a", b"b", b"c", b"d"])
+    ids = client.item_ids_of(4)
+    new_key = client.delete_many(1, old_key, [ids[1], ids[2]])
+    assert new_key != old_key
+    assert client.keystore.get("master:1") == new_key
+    assert client.access(1, new_key, ids[0]) == b"a"

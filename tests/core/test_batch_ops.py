@@ -1,0 +1,273 @@
+"""The batched-deletion building blocks: MT(S), union cut, batch moves.
+
+These tests exercise the pure layers (tree slot derivations, the
+multi-lane chain sweep, the union-cut deltas, the simulated rebalancing
+moves) directly, without client/server plumbing.  The key invariant
+throughout: applying the batch to a real tree leaves every surviving
+data key bit-identical to what ``k`` sequential single-item deletions
+would have produced.
+"""
+
+import pytest
+
+from repro.core import ops
+from repro.core.errors import StructureError
+from repro.core.modulated_chain import ChainEngine
+from repro.core.tree import BatchView, ModulationTree
+from repro.crypto.rng import DeterministicRandom
+
+WIDTH = 20
+
+
+def build_tree(n, seed="batch-ops"):
+    rng = DeterministicRandom(seed)
+    return ModulationTree.build_random(list(range(100, 100 + n)), WIDTH, rng)
+
+
+def data_key(engine, tree, master_key, item_id):
+    view = tree.path_view(tree.slot_of_item(item_id))
+    return engine.evaluate(master_key, view.modulator_list())
+
+
+# ----------------------------------------------------------------------
+# Slot derivations
+# ----------------------------------------------------------------------
+
+def test_union_path_is_union_of_paths():
+    targets = (11, 14, 9)
+    expected = set()
+    for t in targets:
+        expected.update(ModulationTree.path_slots(t))
+    assert ModulationTree.union_path_slots(targets) == sorted(expected)
+
+
+def test_union_cut_generalises_single_cut():
+    # For one target the union cut is the classic (n-1)-cut.
+    slot = 13
+    expected = [s ^ 1 for s in ModulationTree.path_slots(slot)[1:]]
+    assert ModulationTree.union_cut_slots((slot,)) == sorted(expected)
+
+
+def test_union_cut_excludes_on_path_siblings():
+    # Siblings 6 and 7: each is on the other's path union, so neither is
+    # in the cut; their parent's sibling (2) is.
+    assert ModulationTree.union_cut_slots((6, 7)) == [2]
+
+
+def test_union_cut_partitions_survivors():
+    """Every surviving leaf sits below exactly one cut node."""
+    n = 16
+    targets = (n + 1, n + 4, n + 5, 2 * n - 1)
+    cut = ModulationTree.union_cut_slots(targets)
+    for leaf in range(n, 2 * n):
+        if leaf in targets:
+            continue
+        covering = [c for c in cut
+                    if c in ModulationTree.path_slots(leaf)]
+        assert len(covering) == 1, (leaf, covering)
+
+
+def test_batch_link_slots_cover_paths_band_and_cut():
+    n, targets = 16, (17, 21, 30)
+    link_slots = ModulationTree.batch_link_slots(n, targets)
+    assert link_slots == sorted(set(link_slots))  # sorted, distinct
+    need = set(ModulationTree.union_cut_slots(targets))
+    for start in (*targets, *ModulationTree.batch_band_slots(n, len(targets))):
+        need.update(s for s in ModulationTree.path_slots(start) if s >= 2)
+    assert set(link_slots) == need
+    # Closed under parents (down to slot 2).
+    for slot in link_slots:
+        assert slot // 2 < 2 or slot // 2 in need
+
+
+def test_batch_leaf_mod_slots():
+    n, targets = 8, (9, 12)
+    slots = ModulationTree.batch_leaf_mod_slots(n, targets)
+    band_leaves = [s for s in ModulationTree.batch_band_slots(n, 2)
+                   if s >= n]
+    assert slots == sorted(set(targets) | set(band_leaves))
+
+
+def test_batch_view_matches_store():
+    tree = build_tree(8)
+    targets = (9, 12)
+    view = tree.batch_view(targets)
+    assert view.n_leaves == 8
+    assert view.target_slots == targets
+    link_slots = ModulationTree.batch_link_slots(8, targets)
+    assert view.links == tuple(tree.store.get_link(s) for s in link_slots)
+    leaf_slots = ModulationTree.batch_leaf_mod_slots(8, targets)
+    assert view.leaf_mods == tuple(tree.store.get_leaf(s)
+                                   for s in leaf_slots)
+
+
+def test_batch_view_rejects_bad_targets():
+    tree = build_tree(8)
+    with pytest.raises(StructureError):
+        tree.batch_view((9, 9))
+    with pytest.raises(StructureError):
+        tree.batch_view((3,))  # internal node
+
+
+# ----------------------------------------------------------------------
+# Chain sweep and refusal rules
+# ----------------------------------------------------------------------
+
+def test_chain_values_match_scalar_evaluation():
+    tree = build_tree(16)
+    engine = ChainEngine()
+    key = DeterministicRandom("keys").bytes(16)
+    targets = (17, 22, 31)
+    view = tree.batch_view(targets)
+    values = ops.chain_values_for_view(engine, [key], view)[0]
+    for slot in ModulationTree.batch_link_slots(16, targets):
+        path = ModulationTree.path_slots(slot)
+        links = [tree.store.get_link(s) for s in path[1:]]
+        assert values[slot] == engine.evaluate(key, links), slot
+    outputs = ops.batch_chain_outputs(engine, values, view)
+    for slot, output in zip(targets, outputs):
+        item = tree.item_of_slot(slot)
+        assert output == data_key(engine, tree, key, item)
+
+
+def test_verify_batch_view_refusal_rules():
+    tree = build_tree(8)
+    view = tree.batch_view((9, 12))
+    ops.verify_batch_view(view)  # honest view passes
+
+    def reject(**overrides):
+        fields = dict(n_leaves=view.n_leaves,
+                      target_slots=view.target_slots,
+                      links=view.links, leaf_mods=view.leaf_mods)
+        fields.update(overrides)
+        with pytest.raises(Exception):
+            ops.verify_batch_view(BatchView(**fields))
+
+    reject(target_slots=())                      # empty batch
+    reject(target_slots=(9, 9))                  # duplicate targets
+    reject(target_slots=(3, 9))                  # non-leaf target
+    reject(links=view.links[:-1])                # wrong link count
+    reject(leaf_mods=view.leaf_mods + (b"\x00" * WIDTH,))  # wrong leaf count
+    reject(links=(view.links[0],) + view.links[1:-1] + (view.links[0],))
+
+
+# ----------------------------------------------------------------------
+# Deltas and moves against a real tree
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("n,positions", [
+    (2, (0, 1)),
+    (5, (1, 3)),
+    (8, (0, 3, 5, 7)),
+    (8, (6, 7)),           # targets inside the balance band
+    (9, (8,)),             # k == 1 reduces to the classic deletion
+    (12, tuple(range(12))),  # full wipe
+    (13, (0, 4, 9, 12, 2)),
+])
+def test_batch_commit_preserves_surviving_keys(n, positions):
+    """Apply deltas + moves to a real tree: surviving data keys are
+    unchanged (they equal their pre-deletion values, exactly as after
+    sequential deletions), targets' slots are gone, shape shrinks."""
+    tree = build_tree(n, seed=f"commit-{n}-{positions}")
+    engine = ChainEngine()
+    rng = DeterministicRandom("commit-keys")
+    old_key, new_key = rng.bytes(16), rng.bytes(16)
+    items = [100 + p for p in positions]
+    survivors = [100 + i for i in range(n) if 100 + i not in items]
+    before = {item: data_key(engine, tree, old_key, item)
+              for item in survivors}
+
+    targets = tuple(tree.slot_of_item(item) for item in items)
+    view = tree.batch_view(targets)
+    values_old, values_new = ops.chain_values_for_view(
+        engine, [old_key, new_key], view)
+    cut_slots, deltas = ops.compute_deltas_multi(view, values_old, values_new)
+    assert list(cut_slots) == ModulationTree.union_cut_slots(targets)
+    moves = ops.compute_batch_moves(engine, view, cut_slots, deltas,
+                                    values_old, values_new, rng)
+    assert len(moves) == len(items)
+
+    tree.apply_deltas(list(cut_slots), list(deltas))
+    for item, move in zip(items, moves):
+        tree.delete_leaf(tree.slot_of_item(item), move.x_s_prime,
+                         move.dest_link, move.dest_leaf)
+
+    assert tree.leaf_count == n - len(items)
+    for item in survivors:
+        assert data_key(engine, tree, new_key, item) == before[item], item
+    for item in items:
+        assert tree.item_of_slot(1) != item
+        with pytest.raises(Exception):
+            tree.slot_of_item(item)
+
+
+def test_batch_equals_sequential_final_tree():
+    """Driving delete_leaf with batch-computed moves ends in the same
+    item->slot layout as sequential single deletions of the same items
+    in the same order."""
+    n, positions = 11, (2, 7, 10, 0)
+    items = [100 + p for p in positions]
+
+    batch_tree = build_tree(n, seed="eq")
+    engine = ChainEngine()
+    rng = DeterministicRandom("eq-keys")
+    old_key, new_key = rng.bytes(16), rng.bytes(16)
+    targets = tuple(batch_tree.slot_of_item(item) for item in items)
+    view = batch_tree.batch_view(targets)
+    values_old, values_new = ops.chain_values_for_view(
+        engine, [old_key, new_key], view)
+    cut_slots, deltas = ops.compute_deltas_multi(view, values_old, values_new)
+    moves = ops.compute_batch_moves(engine, view, cut_slots, deltas,
+                                    values_old, values_new, rng)
+    batch_tree.apply_deltas(list(cut_slots), list(deltas))
+    for item, move in zip(items, moves):
+        batch_tree.delete_leaf(batch_tree.slot_of_item(item), move.x_s_prime,
+                               move.dest_link, move.dest_leaf)
+
+    seq_tree = build_tree(n, seed="eq")
+    seq_engine = ChainEngine()
+    key = old_key
+    for item in items:
+        next_key = DeterministicRandom(f"seq-{item}").bytes(16)
+        slot = seq_tree.slot_of_item(item)
+        mt = seq_tree.mt_view(slot)
+        cs, ds = ops.compute_deltas(seq_engine, key, next_key, mt)
+        balance = seq_tree.balance_view()
+        xs, dl, dleaf = ops.compute_balance_values(seq_engine, next_key, mt,
+                                                   balance, cs, ds,
+                                                   DeterministicRandom(
+                                                       f"seq-rng-{item}"))
+        seq_tree.apply_deltas(list(cs), list(ds))
+        seq_tree.delete_leaf(slot, xs, dl, dleaf)
+        key = next_key
+
+    # Same shape and same item placement...
+    assert batch_tree.leaf_count == seq_tree.leaf_count
+    survivors = [100 + i for i in range(n) if 100 + i not in items]
+    for item in survivors:
+        assert batch_tree.slot_of_item(item) == seq_tree.slot_of_item(item)
+        # ...and identical surviving data keys under each final master key.
+        assert data_key(engine, batch_tree, new_key, item) == \
+            data_key(seq_engine, seq_tree, key, item)
+
+
+def test_compute_deltas_single_matches_multi():
+    """The micro-opted single-item compute_deltas agrees with the batch
+    pipeline at k == 1."""
+    tree = build_tree(9, seed="single")
+    engine = ChainEngine()
+    rng = DeterministicRandom("single-keys")
+    old_key, new_key = rng.bytes(16), rng.bytes(16)
+    slot = tree.slot_of_item(104)
+
+    mt = tree.mt_view(slot)
+    cut_single, deltas_single = ops.compute_deltas(engine, old_key, new_key,
+                                                   mt)
+    view = tree.batch_view((slot,))
+    values_old, values_new = ops.chain_values_for_view(
+        engine, [old_key, new_key], view)
+    cut_multi, deltas_multi = ops.compute_deltas_multi(view, values_old,
+                                                       values_new)
+    assert sorted(cut_single) == list(cut_multi)
+    by_slot = dict(zip(cut_single, deltas_single))
+    assert tuple(by_slot[s] for s in cut_multi) == deltas_multi

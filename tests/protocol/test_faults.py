@@ -111,6 +111,64 @@ def test_resume_delete_requires_a_journal_entry():
         client.resume_delete(1, ids[0])
 
 
+def test_lost_batch_ack_is_resumable_and_then_assured():
+    """Batch analogue of the lost-Ack worst case: the server applied the
+    whole batch but the Ack was lost.  The journalled commit finalises
+    through the replay cache -- applied exactly once -- and only then is
+    the old key shredded."""
+    server, channel, client, key, ids = outsourced([NONE, DROP_RESPONSE], n=6)
+    victims = (ids[1], ids[4])
+
+    adversary = Adversary()
+    adversary.observe(snapshot_file(server, 1))
+
+    with pytest.raises(ChannelError):
+        client.delete_many(1, key, victims)
+    adversary.observe(snapshot_file(server, 1))
+    assert server.file_state(1).tree.leaf_count == 4  # server DID act
+    assert client.pending_batch_deletes() == [(1, victims)]
+
+    new_key = client.resume_delete_many(1, victims)
+    adversary.observe(snapshot_file(server, 1))
+    assert server.file_state(1).tree.leaf_count == 4  # applied exactly once
+
+    adversary.seize_keystore(client.keystore.seize())
+    for victim in victims:
+        assert adversary.try_recover(victim) is None
+    assert client.access(1, new_key, ids[0]) == b"item-0"
+    assert client.pending_batch_deletes() == []
+
+
+def test_lost_batch_commit_request_is_resumable():
+    """Other branch: the batch COMMIT was lost (server never acted)."""
+    server, channel, client, key, ids = outsourced([NONE, DROP_REQUEST], n=6)
+    victims = (ids[0], ids[5], ids[2])
+    with pytest.raises(ChannelError):
+        client.delete_many(1, key, victims)
+    assert server.file_state(1).tree.leaf_count == 6  # nothing happened
+    new_key = client.resume_delete_many(1, victims)
+    assert server.file_state(1).tree.leaf_count == 3
+    assert client.access(1, new_key, ids[1]) == b"item-1"
+    for victim in victims:
+        with pytest.raises(UnknownItemError):
+            client.access(1, new_key, victim)
+
+
+def test_duplicated_batch_commit_applies_once():
+    server, channel, client, key, ids = outsourced([NONE, DUPLICATE], n=6)
+    new_key = client.delete_many(1, key, (ids[1], ids[3]))
+    assert server.file_state(1).tree.leaf_count == 4
+    assert server.file_state(1).version == 1
+    for index in (0, 2, 4, 5):
+        assert client.access(1, new_key, ids[index]) == b"item-%d" % index
+
+
+def test_resume_batch_requires_a_journal_entry():
+    _server, _channel, client, key, ids = outsourced([])
+    with pytest.raises(UnknownItemError):
+        client.resume_delete_many(1, (ids[0], ids[1]))
+
+
 def test_lost_modify_commit_response():
     server, channel, client, key, ids = outsourced([NONE, DROP_RESPONSE])
     with pytest.raises(ChannelError):

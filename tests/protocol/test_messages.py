@@ -4,6 +4,7 @@ import pytest
 
 from repro.baselines import messages as bmsg
 from repro.core.errors import ProtocolError
+from repro.core.ops import BalanceMove
 from repro.core.tree import BalanceView, CutEntry, MTView, PathView
 from repro.protocol import messages as msg
 from repro.protocol.wire import WireContext
@@ -50,6 +51,17 @@ MESSAGES = [
                        leaves=(m(3), m(4)), ciphertexts=(b"a", b"b"),
                        tree_version=4),
     msg.DeleteFileRequest(file_id=1),
+    msg.BatchDeleteRequest(file_id=1, item_ids=(10, 12, 11)),
+    msg.BatchDeleteReply(n_leaves=4, target_slots=(5, 7, 6),
+                         links=(m(1), m(2), m(3), m(4), m(5), m(6)),
+                         leaf_mods=(m(7), m(8), m(9), m(10)),
+                         ciphertexts=(b"a", b"bb", b"ccc"), tree_version=4),
+    msg.BatchDeleteCommit(file_id=1, item_ids=(10, 12, 11),
+                          deltas=(m(1), m(2)),
+                          moves=(BalanceMove(m(3), m(4), m(5)),
+                                 BalanceMove(m(6), None, m(7)),
+                                 BalanceMove(None, None, None)),
+                          tree_version=4),
     bmsg.BlobUploadAll(file_id=1, item_ids=(1, 2), ciphertexts=(b"x", b"y")),
     bmsg.BlobGet(file_id=1, item_id=2),
     bmsg.BlobReply(ciphertext=b"data"),
@@ -87,6 +99,9 @@ def test_payload_bytes_accounting():
     assert msg.AccessRequest().payload_bytes() == 0
     upload = msg.OutsourceRequest(ciphertexts=(b"ab", b"cdef"))
     assert upload.payload_bytes() == (4 + 2) + (4 + 4)
+    batch = msg.BatchDeleteReply(ciphertexts=(b"ab", b"cdef"))
+    assert batch.payload_bytes() == (4 + 2) + (4 + 4)
+    assert msg.BatchDeleteCommit().payload_bytes() == 0
 
 
 def test_payload_is_smaller_than_message():

@@ -70,6 +70,46 @@ def test_multiple_deletions_all_stay_dead():
     assert adversary.try_recover(new_item) == b"post-deletion insert"
 
 
+def test_batched_deletion_kills_all_victims_at_once():
+    """Theorem 2 for ``delete_many``: one key rotation kills every item
+    in the batch against the full-power adversary (continuous server
+    snapshots, device seized after the single deletion time T)."""
+    scheme = make_scheme("t2-batch")
+    fid, ids = scheme.new_file([b"batch-%d" % i for i in range(12)])
+    victims = [ids[0], ids[5], ids[11], ids[6]]
+
+    adversary = Adversary()
+    adversary.observe(snapshot_file(scheme.server, fid))
+    scheme.access(fid, ids[3])
+    adversary.observe(snapshot_file(scheme.server, fid))
+
+    scheme.delete_many(fid, victims)  # time T for the whole batch
+    adversary.observe(snapshot_file(scheme.server, fid))
+    adversary.seize_keystore(scheme.client.keystore.seize())
+
+    for victim in victims:
+        assert adversary.try_recover(victim) is None
+    for index in (1, 2, 3, 4, 7, 8, 9, 10):
+        assert adversary.try_recover(ids[index]) == b"batch-%d" % index
+
+
+def test_batched_then_sequential_deletions_all_stay_dead():
+    scheme = make_scheme("t2-batch-seq")
+    fid, ids = scheme.new_file([b"v-%d" % i for i in range(9)])
+    adversary = Adversary()
+    adversary.observe(snapshot_file(scheme.server, fid))
+
+    scheme.delete_many(fid, [ids[2], ids[8]])
+    adversary.observe(snapshot_file(scheme.server, fid))
+    scheme.delete(fid, ids[4])
+    adversary.observe(snapshot_file(scheme.server, fid))
+    adversary.seize_keystore(scheme.client.keystore.seize())
+
+    for victim in (ids[2], ids[8], ids[4]):
+        assert adversary.try_recover(victim) is None
+    assert adversary.try_recover(ids[0]) == b"v-0"
+
+
 def test_compromise_before_deletion_reads_data_as_expected():
     """Seizing the device *before* T reveals undeleted data -- the threat
     model explicitly concedes this ("If the attackers manage to compromise
