@@ -21,7 +21,14 @@ Commands::
                                             # (several positions = one batch)
     repro-vault drop <name>                 # assured whole-file deletion
     repro-vault serve --port 9000           # expose the vault over TCP
+    repro-vault serve --port 9000 --durable # crash-safe: WAL + checkpoints
+    repro-vault probe <host> <port>         # health-check a served vault
     repro-vault stats
+
+``--rpc-timeout`` / ``--rpc-attempts`` / ``--rpc-backoff`` tune the TCP
+retry policy used by client-side commands (``probe``): a timed-out
+request tears the connection down and retransmits with exponential
+backoff, relying on the server's idempotent request-id handling.
 
 Run it as ``python -m repro.cli ...``.
 """
@@ -166,12 +173,34 @@ def cmd_stats(vault: Vault, _args) -> int:
     return 0
 
 
+def _retry_policy(args):
+    from repro.protocol.tcp import RetryPolicy
+    return RetryPolicy(attempts=args.rpc_attempts, timeout=args.rpc_timeout,
+                       base_delay=args.rpc_backoff)
+
+
 def cmd_serve(vault: Vault, args) -> int:
     vault.load()
     if vault.fs.server is None:
         raise ReproError("this vault was created against an external server")
     from repro.protocol.tcp import TcpServerHost
-    with TcpServerHost(vault.fs.server, port=args.port) as host:
+
+    server = vault.fs.server
+    if args.durable:
+        # Crash-safe mode: state lives in an image + write-ahead log under
+        # the server directory, not in the pickle snapshot.  First durable
+        # serve bootstraps the image from the vault; later ones recover
+        # from image + WAL (surviving kill -9 mid-commit).
+        from repro.server.persistence import save_server
+        from repro.server.wal import checkpoint, recover_server
+        image = os.path.join(vault.server_dir, "server.img")
+        wal_path = os.path.join(vault.server_dir, "server.wal")
+        if not os.path.exists(image) and not os.path.exists(wal_path):
+            save_server(server, image)
+        server = recover_server(image, wal_path)
+        _print(f"durable state: {image} + {wal_path}")
+
+    with TcpServerHost(server, port=args.port) as host:
         _print(f"serving vault on {host.address[0]}:{host.address[1]} "
                f"(ctrl-C to stop)")
         try:
@@ -179,7 +208,38 @@ def cmd_serve(vault: Vault, args) -> int:
             threading.Event().wait()
         except KeyboardInterrupt:
             return 0
+        finally:
+            if args.durable:
+                checkpoint(server, image)
     return 0
+
+
+def cmd_probe(vault: Vault, args) -> int:
+    """Round-trip health check against a served vault."""
+    import time
+
+    from repro.core.params import Params
+    from repro.protocol import messages as msg
+    from repro.protocol.tcp import TcpChannel
+    from repro.protocol.wire import WireContext
+
+    params = Params()
+    ctx = WireContext(modulator_width=params.modulator_size)
+    start = time.perf_counter()
+    with TcpChannel((args.host, args.port), ctx,
+                    retry=_retry_policy(args)) as channel:
+        reply = channel.request(msg.AccessRequest(file_id=0, item_id=0))
+        elapsed = time.perf_counter() - start
+        # An empty vault answers E_UNKNOWN_ITEM/FILE: the server is alive
+        # and speaking the protocol either way.
+        alive = isinstance(reply, (msg.AccessReply, msg.ErrorReply))
+        _print(json.dumps({
+            "alive": alive,
+            "round_trip_ms": round(elapsed * 1e3, 3),
+            "retransmits": channel.counters.retransmits,
+            "reply": type(reply).__name__,
+        }, indent=2))
+    return 0 if alive else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -191,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--client-file", default=".repro-keys",
                         help="file holding the client's keys (unused "
                              "placeholder in the single-process CLI)")
+    parser.add_argument("--rpc-timeout", type=float, default=30.0,
+                        help="per-request TCP timeout in seconds")
+    parser.add_argument("--rpc-attempts", type=int, default=4,
+                        help="total tries per request (1 = no retry)")
+    parser.add_argument("--rpc-backoff", type=float, default=0.05,
+                        help="base delay of the exponential retry backoff")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("init").set_defaults(func=cmd_init)
@@ -224,7 +290,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("stats").set_defaults(func=cmd_stats)
     serve = sub.add_parser("serve")
     serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--durable", action="store_true",
+                       help="serve crash-safe state (WAL + checkpoint image "
+                            "under the server directory)")
     serve.set_defaults(func=cmd_serve)
+    probe = sub.add_parser("probe")
+    probe.add_argument("host")
+    probe.add_argument("port", type=int)
+    probe.set_defaults(func=cmd_probe)
     return parser
 
 

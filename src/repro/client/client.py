@@ -119,6 +119,18 @@ class AssuredDeletionClient:
     def _key_name(self, file_id: int) -> str:
         return f"master:{file_id}"
 
+    def _request_id(self) -> int:
+        """Fresh non-zero idempotency id for one mutating request.
+
+        The server answers a retransmission of the same id from its
+        replay cache, so transport-level retries (and journalled resends
+        after a lost Ack) are applied exactly once.
+        """
+        while True:
+            request_id = int.from_bytes(self.rng.bytes(8), "big")
+            if request_id:
+                return request_id
+
     # ------------------------------------------------------------------
     # Outsourcing
     # ------------------------------------------------------------------
@@ -150,7 +162,7 @@ class AssuredDeletionClient:
             request = msg.OutsourceRequest(
                 file_id=file_id, item_ids=tuple(item_ids),
                 links=tuple(links), leaves=tuple(leaves),
-                ciphertexts=ciphertexts)
+                ciphertexts=ciphertexts, request_id=self._request_id())
             try:
                 self._expect(self.channel.request(request), msg.Ack)
             except DuplicateModulatorError:
@@ -231,7 +243,8 @@ class AssuredDeletionClient:
                 self._expect(
                     self.channel.request(msg.ModifyCommit(
                         file_id=file_id, item_id=item_id,
-                        ciphertext=ciphertext, tree_version=version)),
+                        ciphertext=ciphertext, tree_version=version,
+                        request_id=self._request_id())),
                     msg.Ack)
             except StaleStateError:
                 retries += 1
@@ -266,7 +279,8 @@ class AssuredDeletionClient:
                         t_new_leaf=commit.t_new_leaf,
                         e_link=commit.e_link, e_leaf=commit.e_leaf,
                         ciphertext=ciphertext,
-                        tree_version=challenge.tree_version)),
+                        tree_version=challenge.tree_version,
+                        request_id=self._request_id())),
                     msg.Ack)
             except (DuplicateModulatorError, StaleStateError):
                 retries += 1
@@ -364,7 +378,8 @@ class AssuredDeletionClient:
                 cut_slots=cut_slots, deltas=deltas,
                 x_s_prime=x_s_prime, dest_link=dest_link,
                 dest_leaf=dest_leaf,
-                tree_version=challenge.tree_version)
+                tree_version=challenge.tree_version,
+                request_id=self._request_id())
             # Journal before sending: if the Ack is lost, the server may
             # already hold the delta-adjusted tree under new_key.
             self._pending_deletes[(file_id, item_id)] = (commit, new_key)
@@ -482,7 +497,8 @@ class AssuredDeletionClient:
                                             self.rng)
             commit = msg.BatchDeleteCommit(
                 file_id=file_id, item_ids=item_ids, deltas=deltas,
-                moves=moves, tree_version=reply.tree_version)
+                moves=moves, tree_version=reply.tree_version,
+                request_id=self._request_id())
             # Journal before sending: if the Ack is lost, the server may
             # already hold the delta-adjusted tree under new_key.
             self._pending_batch_deletes[(file_id, item_ids)] = (commit,
@@ -567,6 +583,7 @@ class AssuredDeletionClient:
         """Ask the server to drop a file's state (space reclamation only)."""
         begin = self._begin()
         self._expect(
-            self.channel.request(msg.DeleteFileRequest(file_id=file_id)),
+            self.channel.request(msg.DeleteFileRequest(
+                file_id=file_id, request_id=self._request_id())),
             msg.Ack)
         self._finish("delete_file_state", begin)

@@ -45,3 +45,13 @@ class KeyShreddedError(ReproError):
 
 class StaleStateError(ReproError):
     """Client and server disagree about tree version (lost update detected)."""
+
+
+class SimulatedCrash(ReproError):
+    """The server process 'died' at an armed crash point (fault injection).
+
+    Raised by :meth:`repro.server.server.CloudServer` when a test armed a
+    crash point; everything the process would lose in a real ``kill -9``
+    (un-checkpointed in-memory state) must be considered lost by the test
+    harness, which restarts the server from its on-disk image + WAL.
+    """

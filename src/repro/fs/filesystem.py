@@ -199,6 +199,28 @@ class OutsourcedFileSystem:
         self._next_meta_id = 1
         self._next_file_id = self._DATA_FILE_BASE
 
+    @classmethod
+    def connect(cls, address: tuple[str, int],
+                params: Params | None = None,
+                rng: RandomSource | None = None,
+                metrics: MetricsCollector | None = None,
+                group_of: Callable[[str], str] = directory_group,
+                retry: "RetryPolicy | None" = None) -> "OutsourcedFileSystem":
+        """Open a file system against a remote TCP server.
+
+        ``retry`` configures the transport's per-request timeout and
+        exponential-backoff retransmits (safe: mutating requests carry
+        idempotent request ids the server dedupes on).
+        """
+        from repro.protocol.tcp import RetryPolicy, TcpChannel
+        from repro.protocol.wire import WireContext
+        params = params if params is not None else Params()
+        channel = TcpChannel(
+            address, WireContext(modulator_width=params.modulator_size),
+            retry=retry if retry is not None else RetryPolicy())
+        return cls(channel, params=params, rng=rng, metrics=metrics,
+                   group_of=group_of)
+
     # ------------------------------------------------------------------
     # Groups
     # ------------------------------------------------------------------

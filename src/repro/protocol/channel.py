@@ -29,12 +29,13 @@ class ChannelCounters:
     round_trips: int = 0
     simulated_seconds: float = 0.0
     server_seconds: float = 0.0
+    retransmits: int = 0
 
     def snapshot(self) -> "ChannelCounters":
         return ChannelCounters(self.bytes_sent, self.bytes_received,
                                self.payload_sent, self.payload_received,
                                self.round_trips, self.simulated_seconds,
-                               self.server_seconds)
+                               self.server_seconds, self.retransmits)
 
     def delta(self, earlier: "ChannelCounters") -> "ChannelCounters":
         return ChannelCounters(
@@ -45,6 +46,7 @@ class ChannelCounters:
             self.round_trips - earlier.round_trips,
             self.simulated_seconds - earlier.simulated_seconds,
             self.server_seconds - earlier.server_seconds,
+            self.retransmits - earlier.retransmits,
         )
 
 

@@ -19,6 +19,13 @@ Any failure is an ``ErrorReply``.  ``payload_bytes()`` reports how many of
 a message's encoded bytes are item content (ciphertexts); the accounting
 layer subtracts them where the paper's overhead definition requires
 ("the overhead does not include the data item itself").
+
+Every *mutating* message carries a client-chosen ``request_id`` (a
+non-zero random u64).  The server remembers the reply it produced for
+each id, so a retransmission -- a transport-level retry after a timeout,
+or a journalled client resend after a lost Ack -- is answered from that
+cache instead of being applied twice.  ``request_id = 0`` opts out (the
+message is then only protected by the tree-version check).
 """
 
 from __future__ import annotations
@@ -197,6 +204,7 @@ class OutsourceRequest(Message):
     links: tuple[bytes, ...] = ()
     leaves: tuple[bytes, ...] = ()
     ciphertexts: tuple[bytes, ...] = ()
+    request_id: int = 0
 
     def encode_body(self, w: Writer) -> None:
         w.u64(self.file_id)
@@ -204,6 +212,7 @@ class OutsourceRequest(Message):
         w.modulator_list(self.links)
         w.modulator_list(self.leaves)
         w.blob_list(self.ciphertexts)
+        w.u64(self.request_id)
 
     @classmethod
     def decode_body(cls, r: Reader) -> "OutsourceRequest":
@@ -213,7 +222,8 @@ class OutsourceRequest(Message):
         leaves = tuple(r.modulator_list())
         ciphertexts = tuple(r.blob_list())
         return cls(file_id=file_id, item_ids=item_ids, links=links,
-                   leaves=leaves, ciphertexts=ciphertexts)
+                   leaves=leaves, ciphertexts=ciphertexts,
+                   request_id=r.u64())
 
     def payload_bytes(self) -> int:
         return sum(4 + len(c) for c in self.ciphertexts)
@@ -272,15 +282,16 @@ class ModifyCommit(Message):
     item_id: int = 0
     ciphertext: bytes = b""
     tree_version: int = 0
+    request_id: int = 0
 
     def encode_body(self, w: Writer) -> None:
         w.u64(self.file_id).u64(self.item_id).blob(self.ciphertext)
-        w.u64(self.tree_version)
+        w.u64(self.tree_version).u64(self.request_id)
 
     @classmethod
     def decode_body(cls, r: Reader) -> "ModifyCommit":
         return cls(file_id=r.u64(), item_id=r.u64(), ciphertext=r.blob(),
-                   tree_version=r.u64())
+                   tree_version=r.u64(), request_id=r.u64())
 
     def payload_bytes(self) -> int:
         return 4 + len(self.ciphertext)
@@ -347,6 +358,7 @@ class DeleteCommit(Message):
     dest_link: Optional[bytes] = None
     dest_leaf: Optional[bytes] = None
     tree_version: int = 0
+    request_id: int = 0
 
     def encode_body(self, w: Writer) -> None:
         w.u64(self.file_id).u64(self.item_id)
@@ -355,7 +367,7 @@ class DeleteCommit(Message):
         w.opt_modulator(self.x_s_prime)
         w.opt_modulator(self.dest_link)
         w.opt_modulator(self.dest_leaf)
-        w.u64(self.tree_version)
+        w.u64(self.tree_version).u64(self.request_id)
 
     @classmethod
     def decode_body(cls, r: Reader) -> "DeleteCommit":
@@ -365,7 +377,7 @@ class DeleteCommit(Message):
                    x_s_prime=r.opt_modulator(),
                    dest_link=r.opt_modulator(),
                    dest_leaf=r.opt_modulator(),
-                   tree_version=r.u64())
+                   tree_version=r.u64(), request_id=r.u64())
 
 
 @register
@@ -419,6 +431,7 @@ class InsertCommit(Message):
     e_leaf: bytes = b""
     ciphertext: bytes = b""
     tree_version: int = 0
+    request_id: int = 0
 
     def encode_body(self, w: Writer) -> None:
         w.u64(self.file_id).u64(self.item_id)
@@ -427,7 +440,7 @@ class InsertCommit(Message):
         w.opt_modulator(self.e_link)
         w.modulator(self.e_leaf)
         w.blob(self.ciphertext)
-        w.u64(self.tree_version)
+        w.u64(self.tree_version).u64(self.request_id)
 
     @classmethod
     def decode_body(cls, r: Reader) -> "InsertCommit":
@@ -437,7 +450,7 @@ class InsertCommit(Message):
                    e_link=r.opt_modulator(),
                    e_leaf=r.modulator(),
                    ciphertext=r.blob(),
-                   tree_version=r.u64())
+                   tree_version=r.u64(), request_id=r.u64())
 
     def payload_bytes(self) -> int:
         return 4 + len(self.ciphertext)
@@ -512,13 +525,14 @@ class DeleteFileRequest(Message):
 
     TYPE: ClassVar[int] = 15
     file_id: int = 0
+    request_id: int = 0
 
     def encode_body(self, w: Writer) -> None:
-        w.u64(self.file_id)
+        w.u64(self.file_id).u64(self.request_id)
 
     @classmethod
     def decode_body(cls, r: Reader) -> "DeleteFileRequest":
-        return cls(file_id=r.u64())
+        return cls(file_id=r.u64(), request_id=r.u64())
 
 
 @register
@@ -601,6 +615,7 @@ class BatchDeleteCommit(Message):
     deltas: tuple[bytes, ...] = ()
     moves: tuple[BalanceMove, ...] = ()
     tree_version: int = 0
+    request_id: int = 0
 
     def encode_body(self, w: Writer) -> None:
         w.u64(self.file_id)
@@ -611,7 +626,7 @@ class BatchDeleteCommit(Message):
             w.opt_modulator(move.x_s_prime)
             w.opt_modulator(move.dest_link)
             w.opt_modulator(move.dest_leaf)
-        w.u64(self.tree_version)
+        w.u64(self.tree_version).u64(self.request_id)
 
     @classmethod
     def decode_body(cls, r: Reader) -> "BatchDeleteCommit":
@@ -623,4 +638,4 @@ class BatchDeleteCommit(Message):
                                   dest_leaf=r.opt_modulator())
                       for _ in range(r.u32()))
         return cls(file_id=file_id, item_ids=item_ids, deltas=deltas,
-                   moves=moves, tree_version=r.u64())
+                   moves=moves, tree_version=r.u64(), request_id=r.u64())

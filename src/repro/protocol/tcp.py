@@ -10,7 +10,15 @@ prefix) and provides:
   a malicious variant, or a :class:`~repro.baselines.base.BlobStoreServer`);
 * :class:`TcpChannel` -- a :class:`~repro.protocol.channel.Channel` that
   speaks the framing over a persistent connection, with the same byte
-  accounting as the loopback channel.
+  accounting as the loopback channel;
+* :class:`RetryPolicy` -- per-request timeout and exponential-backoff
+  retry knobs for the channel.
+
+A request that fails mid-round-trip (timeout, reset, EINTR) *invalidates
+the connection*: a late reply to request N must never be consumed as the
+reply to request N+1, so the socket is torn down and re-dialled before
+the retransmit.  Retransmits are safe because every mutating message
+carries an idempotent ``request_id`` the server dedupes on.
 
 The framing adds 4 bytes per message; the accounting counts message bytes
 only (as the paper excludes transport framing), with the frame overhead
@@ -19,19 +27,53 @@ available separately.
 
 from __future__ import annotations
 
+import logging
 import socket
 import socketserver
 import struct
 import threading
+import time
+from dataclasses import dataclass
 
 from repro.core.errors import ProtocolError
 from repro.protocol.channel import Channel
+from repro.protocol.faults import ChannelError
 from repro.protocol.wire import WireContext
 from repro.sim.network import NetworkModel
 
 _LENGTH = struct.Struct(">I")
 #: Upper bound on one message frame (a whole-file reply can be large).
 MAX_FRAME = 1 << 30
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry knobs for :class:`TcpChannel`.
+
+    ``attempts`` bounds total tries (1 = no retry).  Attempt ``i`` waits
+    ``min(max_delay, base_delay * multiplier ** (i-1))`` before its
+    retransmit; delays are deterministic (no jitter) so tests and
+    measurements are reproducible.
+    """
+
+    attempts: int = 4
+    timeout: float = 30.0
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (the first retry is 1)."""
+        return min(self.max_delay,
+                   self.base_delay * self.multiplier ** (attempt - 1))
 
 
 def send_frame(sock: socket.socket, payload: bytes) -> None:
@@ -73,10 +115,19 @@ class _Handler(socketserver.BaseRequestHandler):
             try:
                 response = backend.handle_bytes(request)
             except Exception as exc:  # never kill the connection silently
+                ctx = getattr(backend, "ctx", None)
+                if ctx is None:
+                    # A baseline backend without a wire context cannot
+                    # produce an ErrorReply; close the connection loudly
+                    # instead of dying with an AttributeError.
+                    logger.error("backend %r failed without a wire context "
+                                 "to report through: %s",
+                                 type(backend).__name__, exc)
+                    return
                 from repro.protocol import messages as msg
                 response = msg.encode_message(
-                    backend.ctx, msg.ErrorReply(code=msg.E_BAD_REQUEST,
-                                                detail=str(exc)))
+                    ctx, msg.ErrorReply(code=msg.E_BAD_REQUEST,
+                                        detail=str(exc)))
             try:
                 send_frame(self.request, response)
             except OSError:
@@ -95,32 +146,56 @@ class TcpServerHost:
 
         with TcpServerHost(CloudServer()) as host:
             channel = TcpChannel(host.address, server.ctx)
+
+    A stopped host can be started again: ``start`` after ``stop``
+    recreates the server socket (rebinding the same address) and a fresh
+    acceptor thread.
     """
 
     def __init__(self, backend, host: str = "127.0.0.1", port: int = 0) -> None:
         if not hasattr(backend, "handle_bytes"):
             raise TypeError("backend must expose handle_bytes")
         self.backend = backend
-        self._server = _ThreadedServer((host, port), _Handler)
-        self._server.backend = backend  # type: ignore[attr-defined]
-        self._thread = threading.Thread(target=self._server.serve_forever,
-                                        name="repro-tcp-server", daemon=True)
+        self._bind_address = (host, port)
+        self._server: _ThreadedServer | None = self._make_server()
+        self._thread: threading.Thread | None = None
         self._started = False
+
+    def _make_server(self) -> _ThreadedServer:
+        server = _ThreadedServer(self._bind_address, _Handler)
+        server.backend = self.backend  # type: ignore[attr-defined]
+        # Remember the kernel-assigned port so a restart rebinds it.
+        self._bind_address = server.server_address
+        return server
 
     @property
     def address(self) -> tuple[str, int]:
-        return self._server.server_address  # type: ignore[return-value]
+        if self._server is not None:
+            return self._server.server_address  # type: ignore[return-value]
+        return self._bind_address
 
     def start(self) -> "TcpServerHost":
         if not self._started:
+            if self._server is None:
+                self._server = self._make_server()
+            # threading.Thread objects are single-use: make a new one
+            # per start so stop() -> start() works.
+            self._thread = threading.Thread(target=self._server.serve_forever,
+                                            name="repro-tcp-server",
+                                            daemon=True)
             self._thread.start()
             self._started = True
         return self
 
     def stop(self) -> None:
         if self._started:
+            assert self._server is not None
             self._server.shutdown()
             self._server.server_close()
+            self._server = None
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+                self._thread = None
             self._started = False
 
     def __enter__(self) -> "TcpServerHost":
@@ -131,30 +206,81 @@ class TcpServerHost:
 
 
 class TcpChannel(Channel):
-    """Client channel over a persistent TCP connection."""
+    """Client channel over a persistent TCP connection.
+
+    Round trips run under ``retry``: a timed-out or broken exchange tears
+    the socket down (late replies die with it), re-dials, and retransmits
+    the same encoded bytes.  Mutating messages carry idempotent request
+    ids, so a retransmit the server already applied is answered from its
+    replay cache.
+    """
 
     def __init__(self, address: tuple[str, int], ctx: WireContext,
                  network: NetworkModel | None = None,
-                 timeout: float = 30.0) -> None:
+                 timeout: float | None = None,
+                 retry: RetryPolicy | None = None) -> None:
         super().__init__(ctx, network)
-        self._sock = socket.create_connection(address, timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if retry is None:
+            retry = RetryPolicy(timeout=timeout if timeout is not None
+                                else 30.0)
+        elif timeout is not None:
+            raise ValueError("pass the timeout inside the RetryPolicy")
+        self.retry = retry
+        self._address = address
+        self._sock: socket.socket | None = None
         #: Transport framing bytes, kept apart from the protocol counters.
         self.frame_bytes = 0
         self._lock = threading.Lock()
+        self._connect()  # fail fast if the server is unreachable
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(self._address,
+                                        timeout=self.retry.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        return sock
+
+    def _invalidate(self) -> None:
+        """Drop the connection: its byte stream can hold a stale reply."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def _transport(self, request_bytes: bytes) -> bytes:
         with self._lock:
-            send_frame(self._sock, request_bytes)
-            response = recv_frame(self._sock)
-        self.frame_bytes += 8  # 4-byte length each way
-        return response
+            last_error: Exception | None = None
+            for attempt in range(self.retry.attempts):
+                if attempt:
+                    time.sleep(self.retry.delay_before(attempt))
+                    self.counters.retransmits += 1
+                try:
+                    sock = self._sock if self._sock is not None \
+                        else self._connect()
+                    send_frame(sock, request_bytes)
+                    response = recv_frame(sock)
+                except ProtocolError:
+                    # Peer framing violation: not transient, do not retry.
+                    self._invalidate()
+                    raise
+                except (OSError, ConnectionError) as exc:
+                    # Includes socket.timeout/TimeoutError.  The stream
+                    # may still deliver this request's reply later, so
+                    # the socket must never be reused.
+                    self._invalidate()
+                    last_error = exc
+                    continue
+                self.frame_bytes += 8  # 4-byte length each way
+                return response
+            raise ChannelError(
+                f"request failed after {self.retry.attempts} attempt(s): "
+                f"{last_error!r}")
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        with self._lock:
+            self._invalidate()
 
     def __enter__(self) -> "TcpChannel":
         return self

@@ -15,9 +15,19 @@ Format (all integers big-endian)::
       links:  (2n-2) raw modulators (slot order 2..2n-1)
       leaves: n raw modulators (slot order n..2n-1)
       u32 item count | per item: u64 item id, u64 slot, u32 ct length, ct
+    since v2, after the files:
+      u32 replay entry count | per entry: u64 request id, u32 length,
+      encoded reply message
+
+The replay table persists the server's request-id idempotency cache
+(eviction order preserved), so a client retrying an un-acknowledged
+commit converges to exactly-once application even across a checkpoint
+followed by a crash.  Version-1 images (no table) still load.
 
 Only dense in-memory state is persisted; benchmark-scale lazy stores are
-ephemeral by design.
+ephemeral by design.  The image write is atomic (write + fsync a
+temporary, then ``os.replace``), so a crash mid-checkpoint leaves the
+previous image intact.
 """
 
 from __future__ import annotations
@@ -29,12 +39,13 @@ from repro.core.errors import ProtocolError, UnknownItemError
 from repro.core.modstore import DenseModulatorStore
 from repro.core.params import Params
 from repro.core.tree import ModulationTree
+from repro.protocol import messages as msg
 from repro.protocol.wire import Reader, WireContext, Writer
 from repro.server.server import CloudServer
 from repro.server.storage import InMemoryCiphertextStore
 
 _MAGIC = b"RPRV"
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def save_server(server: CloudServer, path: str) -> None:
@@ -65,7 +76,13 @@ def save_server(server: CloudServer, path: str) -> None:
             try:
                 ciphertext = state.ciphertexts.get(item_id)
             except UnknownItemError:
-                continue
+                # A map entry without a ciphertext is corruption; a
+                # silently smaller image would *look* like a clean
+                # deletion on reload.  Refuse to write it.
+                raise ProtocolError(
+                    f"file {file_id}: item {item_id} (slot {slot}) has a "
+                    f"tree entry but no ciphertext; state is corrupt") \
+                    from None
             items.append((item_id, slot, ciphertext))
         w.u32(len(items))
         for item_id, slot, ciphertext in items:
@@ -73,9 +90,17 @@ def save_server(server: CloudServer, path: str) -> None:
             w.u64(slot)
             w.blob(ciphertext)
 
+    entries = server.replay_cache_entries()
+    w.u32(len(entries))
+    for request_id, reply in entries:
+        w.u64(request_id)
+        w.blob(msg.encode_message(ctx, reply))
+
     tmp = path + ".tmp"
     with open(tmp, "wb") as handle:
         handle.write(w.getvalue())
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
 
 
@@ -86,10 +111,10 @@ def load_server(path: str, params: Params | None = None) -> CloudServer:
         data = handle.read()
     if data[:4] != _MAGIC:
         raise ProtocolError("not a repro server state image")
-    reader = Reader(WireContext(modulator_width=params.modulator_size),
-                    data[4:])
+    ctx = WireContext(modulator_width=params.modulator_size)
+    reader = Reader(ctx, data[4:])
     version = reader.u16()
-    if version != _FORMAT_VERSION:
+    if version not in (1, _FORMAT_VERSION):
         raise ProtocolError(f"unsupported state format version {version}")
     width = reader.u16()
     if width != params.modulator_size:
@@ -121,6 +146,14 @@ def load_server(path: str, params: Params | None = None) -> CloudServer:
 
         server.adopt_file(file_id, tree, ciphertexts)
         server.file_state(file_id).version = tree_version
+
+    if version >= 2:
+        entries = []
+        for _ in range(reader.u32()):
+            request_id = reader.u64()
+            entries.append((request_id,
+                            msg.decode_message(ctx, reader.blob())))
+        server.restore_replay_cache(entries)
     reader.expect_end()
     return server
 

@@ -17,15 +17,26 @@ server is modelled separately in :mod:`repro.server.adversary`.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.core.errors import ReproError, UnknownItemError
+from repro.core.errors import ReproError, SimulatedCrash, UnknownItemError
 from repro.core.params import Params
 from repro.core.tree import LINK, ModulationTree, WriteLog
 from repro.protocol import messages as msg
 from repro.protocol.wire import WireContext
 from repro.server.storage import CiphertextStore, InMemoryCiphertextStore
+
+#: Crash points a test can arm via :meth:`CloudServer.arm_crash`.
+CRASH_POINT_BEFORE_APPLY = "before-apply"
+CRASH_POINT_AFTER_APPLY = "after-apply"
+
+#: Message types that mutate server state: WAL-logged and idempotent
+#: under their ``request_id``.
+MUTATING_REQUESTS = (msg.OutsourceRequest, msg.ModifyCommit,
+                     msg.DeleteCommit, msg.BatchDeleteCommit,
+                     msg.InsertCommit, msg.DeleteFileRequest)
 
 
 @dataclass
@@ -47,12 +58,66 @@ class ServerFile:
 
 
 class CloudServer:
-    """Honest server implementing the full message protocol."""
+    """Honest server implementing the full message protocol.
 
-    def __init__(self, params: Params | None = None) -> None:
+    When a :class:`~repro.server.wal.CommitLog` is attached (``wal``
+    argument or :meth:`attach_wal`), every mutating request is made
+    durable *before* it is applied, so a crash at any point leaves a
+    state that recovery (:func:`~repro.server.wal.recover_server`)
+    resolves to all-or-nothing.  Mutating requests with a non-zero
+    ``request_id`` are idempotent: the reply is cached (and persisted in
+    checkpoint images), so retransmissions are answered without being
+    applied twice.
+    """
+
+    #: Bound on the idempotency cache (oldest replies evicted first).
+    REPLAY_CACHE_LIMIT = 4096
+
+    def __init__(self, params: Params | None = None, wal=None) -> None:
         self.params = params if params is not None else Params()
         self.ctx = WireContext(modulator_width=self.params.modulator_size)
         self._files: dict[int, ServerFile] = {}
+        self.wal = wal
+        #: request_id -> reply produced when it was first applied.
+        self._applied: OrderedDict[int, msg.Message] = OrderedDict()
+        self._crash_point: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Durability plumbing
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, wal) -> None:
+        """Start write-ahead logging mutating requests to ``wal``."""
+        self.wal = wal
+
+    def arm_crash(self, point: str) -> None:
+        """Arm a one-shot simulated crash (fault-injection testing)."""
+        if point not in (CRASH_POINT_BEFORE_APPLY, CRASH_POINT_AFTER_APPLY):
+            raise ValueError(f"unknown crash point {point!r}")
+        self._crash_point = point
+
+    def disarm_crash(self) -> None:
+        """Clear an armed crash point that did not fire."""
+        self._crash_point = None
+
+    def _fire_crash(self, point: str) -> None:
+        if self._crash_point == point:
+            self._crash_point = None
+            raise SimulatedCrash(f"server crashed at {point}")
+
+    def replay_cache_entries(self) -> list[tuple[int, msg.Message]]:
+        """Idempotency cache in eviction order (persistence peer API)."""
+        return list(self._applied.items())
+
+    def restore_replay_cache(self,
+                             entries: Sequence[tuple[int, msg.Message]]) -> None:
+        """Reinstall a persisted idempotency cache (recovery path)."""
+        self._applied = OrderedDict(entries)
+
+    def _remember_applied(self, request_id: int, reply: msg.Message) -> None:
+        self._applied[request_id] = reply
+        while len(self._applied) > self.REPLAY_CACHE_LIMIT:
+            self._applied.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Transport entry points
@@ -66,6 +131,9 @@ class CloudServer:
 
     def handle(self, request: msg.Message) -> msg.Message:
         """Dispatch one decoded request to its handler."""
+        return self._dispatch(request)
+
+    def _dispatch(self, request: msg.Message) -> msg.Message:
         handlers = {
             msg.OutsourceRequest: self._on_outsource,
             msg.AccessRequest: self._on_access,
@@ -84,12 +152,31 @@ class CloudServer:
             return msg.ErrorReply(code=msg.E_BAD_REQUEST,
                                   detail=f"unsupported request "
                                          f"{type(request).__name__}")
+        mutating = isinstance(request, MUTATING_REQUESTS)
+        request_id = getattr(request, "request_id", 0) if mutating else 0
+        if request_id:
+            cached = self._applied.get(request_id)
+            if cached is not None:
+                return cached  # retransmission: answer, do not re-apply
         try:
-            return handler(request)
+            if mutating:
+                if self.wal is not None:
+                    # Durable before applied: the encode is deterministic,
+                    # so the log holds exactly the bytes the wire carried.
+                    self.wal.append(msg.encode_message(self.ctx, request))
+                self._fire_crash(CRASH_POINT_BEFORE_APPLY)
+            reply = handler(request)
+            if mutating:
+                self._fire_crash(CRASH_POINT_AFTER_APPLY)
+        except SimulatedCrash:
+            raise
         except UnknownItemError as exc:
-            return msg.ErrorReply(code=msg.E_UNKNOWN_ITEM, detail=str(exc))
+            reply = msg.ErrorReply(code=msg.E_UNKNOWN_ITEM, detail=str(exc))
         except ReproError as exc:
-            return msg.ErrorReply(code=msg.E_BAD_REQUEST, detail=str(exc))
+            reply = msg.ErrorReply(code=msg.E_BAD_REQUEST, detail=str(exc))
+        if request_id:
+            self._remember_applied(request_id, reply)
+        return reply
 
     # ------------------------------------------------------------------
     # File adoption (used directly by benchmarks with lazy stores)

@@ -85,6 +85,8 @@ class FileBackedCiphertextStore(CiphertextStore):
         tmp = path + ".tmp"
         with open(tmp, "wb") as handle:
             handle.write(ciphertext)
+            handle.flush()
+            os.fsync(handle.fileno())  # durable before the atomic rename
         os.replace(tmp, path)
 
     def delete(self, item_id: int) -> None:

@@ -10,8 +10,9 @@ import pytest
 from repro.client.client import AssuredDeletionClient
 from repro.core.errors import StaleStateError, UnknownItemError
 from repro.crypto.rng import DeterministicRandom
-from repro.protocol.faults import (DROP_REQUEST, DROP_RESPONSE, DUPLICATE,
-                                   NONE, ChannelError, FaultInjectingChannel)
+from repro.protocol.faults import (CRASH_BEFORE_APPLY, DELAY, DROP_REQUEST,
+                                   DROP_RESPONSE, DUPLICATE, NONE,
+                                   ChannelError, FaultInjectingChannel)
 from repro.server.server import CloudServer
 from repro.sim.threat import Adversary, snapshot_file
 
@@ -181,3 +182,48 @@ def test_unknown_fault_kind_rejected():
     server, channel, client, key, ids = outsourced(["explode"])
     with pytest.raises(ValueError):
         client.access(1, key, ids[0])
+
+
+def test_delayed_request_still_succeeds():
+    server, channel, client, key, ids = outsourced([DELAY])
+    channel.delay_seconds = 0.01
+    assert client.access(1, key, ids[0]) == b"item-0"
+    assert channel.faults_injected == [DELAY]
+
+
+def test_server_seconds_are_metered():
+    """The fault channel must separate server time from client time the
+    way the loopback channel does, or Figure-6 metrics lie under fault
+    schedules."""
+    server, channel, client, key, ids = outsourced([])
+    assert channel.counters.server_seconds > 0.0  # the outsource itself
+
+    before = channel.counters.snapshot()
+    client.access(1, key, ids[0])
+    single = channel.counters.delta(before).server_seconds
+    assert single > 0.0
+
+    # A duplicated delivery runs the server twice; both runs are metered.
+    channel._schedule = iter([DUPLICATE])
+    before = channel.counters.snapshot()
+    client.access(1, key, ids[0])
+    doubled = channel.counters.delta(before).server_seconds
+    assert doubled > 0.0
+
+    # A dropped response still cost the server its work.
+    channel._schedule = iter([DROP_RESPONSE])
+    before = channel.counters.snapshot()
+    with pytest.raises(ChannelError):
+        client.access(1, key, ids[0])
+    assert channel.counters.delta(before).server_seconds > 0.0
+
+
+def test_crash_trap_does_not_leak_to_later_requests():
+    """A crash scheduled against a non-mutating request never fires (the
+    crash points sit on the commit path); it must be disarmed rather than
+    left waiting for the next mutating request."""
+    server, channel, client, key, ids = outsourced([CRASH_BEFORE_APPLY])
+    assert client.access(1, key, ids[0]) == b"item-0"
+    assert channel.faults_injected == [CRASH_BEFORE_APPLY]
+    client.delete(1, key, ids[1])  # would crash if the trap leaked
+    assert server.file_state(1).tree.leaf_count == 3

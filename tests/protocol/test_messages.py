@@ -26,23 +26,26 @@ MESSAGES = [
     msg.Ack(tree_version=9, item_id=3),
     msg.ErrorReply(code=msg.E_STALE_STATE, detail="try again"),
     msg.OutsourceRequest(file_id=1, item_ids=(10, 11), links=(m(1), m(2)),
-                         leaves=(m(3), m(4)), ciphertexts=(b"ct-a", b"ct-b")),
+                         leaves=(m(3), m(4)), ciphertexts=(b"ct-a", b"ct-b"),
+                         request_id=0xDEADBEEFCAFEF00D),
     msg.AccessRequest(file_id=1, item_id=10),
     msg.AccessReply(path=PATH, ciphertext=b"ct", tree_version=4),
-    msg.ModifyCommit(file_id=1, item_id=10, ciphertext=b"ct2", tree_version=4),
+    msg.ModifyCommit(file_id=1, item_id=10, ciphertext=b"ct2", tree_version=4,
+                     request_id=1),
     msg.DeleteRequest(file_id=1, item_id=10),
     msg.DeleteChallenge(mt=MT, ciphertext=b"ct", balance=BALANCE,
                         tree_version=4),
     msg.DeleteChallenge(mt=MT, ciphertext=b"ct", balance=None, tree_version=4),
     msg.DeleteCommit(file_id=1, item_id=10, cut_slots=(3, 4),
                      deltas=(m(9), m(10)), x_s_prime=m(11), dest_link=None,
-                     dest_leaf=m(12), tree_version=4),
+                     dest_leaf=m(12), tree_version=4,
+                     request_id=(1 << 64) - 1),
     msg.InsertRequest(file_id=1),
     msg.InsertChallenge(path=PATH, tree_version=4),
     msg.InsertChallenge(path=None, tree_version=0),
     msg.InsertCommit(file_id=1, item_id=20, t_new_link=m(1), t_new_leaf=m(2),
                      e_link=m(3), e_leaf=m(4), ciphertext=b"ct",
-                     tree_version=4),
+                     tree_version=4, request_id=7),
     msg.InsertCommit(file_id=1, item_id=20, t_new_link=None, t_new_leaf=None,
                      e_link=None, e_leaf=m(4), ciphertext=b"ct",
                      tree_version=0),
@@ -51,6 +54,7 @@ MESSAGES = [
                        leaves=(m(3), m(4)), ciphertexts=(b"a", b"b"),
                        tree_version=4),
     msg.DeleteFileRequest(file_id=1),
+    msg.DeleteFileRequest(file_id=1, request_id=42),
     msg.BatchDeleteRequest(file_id=1, item_ids=(10, 12, 11)),
     msg.BatchDeleteReply(n_leaves=4, target_slots=(5, 7, 6),
                          links=(m(1), m(2), m(3), m(4), m(5), m(6)),
@@ -61,7 +65,7 @@ MESSAGES = [
                           moves=(BalanceMove(m(3), m(4), m(5)),
                                  BalanceMove(m(6), None, m(7)),
                                  BalanceMove(None, None, None)),
-                          tree_version=4),
+                          tree_version=4, request_id=0x0102030405060708),
     bmsg.BlobUploadAll(file_id=1, item_ids=(1, 2), ciphertexts=(b"x", b"y")),
     bmsg.BlobGet(file_id=1, item_id=2),
     bmsg.BlobReply(ciphertext=b"data"),

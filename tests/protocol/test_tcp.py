@@ -1,11 +1,15 @@
 """The TCP transport: the full protocol over a real socket."""
 
+import time
+
 import pytest
 
 from repro.client.client import AssuredDeletionClient
 from repro.core.errors import ProtocolError
 from repro.crypto.rng import DeterministicRandom
-from repro.protocol.tcp import TcpChannel, TcpServerHost
+from repro.protocol import messages as msg
+from repro.protocol.faults import ChannelError
+from repro.protocol.tcp import RetryPolicy, TcpChannel, TcpServerHost
 from repro.server.server import CloudServer
 
 
@@ -93,3 +97,147 @@ def test_server_survives_bad_frames(hosted_server):
 def test_host_requires_handle_bytes():
     with pytest.raises(TypeError):
         TcpServerHost(object())
+
+
+def test_host_restart_after_stop():
+    """stop() then start() must rebind the same address with a fresh
+    acceptor thread (threading.Thread objects are single-use)."""
+    server = CloudServer()
+    host = TcpServerHost(server)
+    host.start()
+    address = host.address
+    try:
+        with TcpChannel(address, server.ctx) as channel:
+            client = AssuredDeletionClient(channel,
+                                           rng=DeterministicRandom("restart"))
+            key = client.outsource(1, [b"still-here"])
+            ids = client.item_ids_of(1)
+        host.stop()
+        host.start()
+        assert host.address == address
+        with TcpChannel(host.address, server.ctx) as channel:
+            client = AssuredDeletionClient(channel,
+                                           rng=DeterministicRandom("restart2"),
+                                           store_keys=False)
+            assert client.access(1, key, ids[0]) == b"still-here"
+    finally:
+        host.stop()
+
+
+class _SlowOnce:
+    """Backend wrapper: the first delivery stalls past the client timeout."""
+
+    def __init__(self, inner, delay):
+        self.inner = inner
+        self.ctx = inner.ctx
+        self.delay = delay
+        self.stalled = False
+
+    def handle_bytes(self, data):
+        if not self.stalled:
+            self.stalled = True
+            time.sleep(self.delay)
+        return self.inner.handle_bytes(data)
+
+
+class _SlowReplyOnce:
+    """Backend wrapper: the first delete commit is APPLIED but its reply
+    stalls past the client timeout (the retransmit-races-slow-Ack case)."""
+
+    def __init__(self, inner, delay):
+        self.inner = inner
+        self.ctx = inner.ctx
+        self.delay = delay
+        self.stalled = False
+
+    def handle_bytes(self, data):
+        response = self.inner.handle_bytes(data)
+        request = msg.decode_message(self.ctx, data)
+        if isinstance(request, msg.DeleteCommit) and not self.stalled:
+            self.stalled = True
+            time.sleep(self.delay)
+        return response
+
+
+def _seeded_file(address, ctx, seed, n=4):
+    with TcpChannel(address, ctx) as channel:
+        client = AssuredDeletionClient(channel, rng=DeterministicRandom(seed))
+        key = client.outsource(1, [b"net-%d" % i for i in range(n)])
+        ids = client.item_ids_of(n)
+    return key, ids, client.keystore
+
+
+def test_timed_out_request_never_desyncs_the_stream():
+    """Regression for the stale-frame desync: after a timeout the late
+    reply to request N must not be consumed as the reply to request N+1.
+    The channel must tear the connection down, so the next request gets
+    its own reply on a fresh stream."""
+    server = CloudServer()
+    backend = _SlowOnce(server, delay=1.0)
+    with TcpServerHost(backend) as host:
+        key, ids, _ks = _seeded_file(host.address, server.ctx, "desync")
+        backend.stalled = False  # stall the next delivery
+        with TcpChannel(host.address, server.ctx,
+                        retry=RetryPolicy(attempts=1, timeout=0.2)) as channel:
+            with pytest.raises(ChannelError):
+                channel.request(msg.AccessRequest(file_id=1, item_id=ids[0]))
+            # The stalled AccessReply is still in flight.  This request
+            # must be answered by a FetchFileReply, not that stale frame.
+            reply = channel.request(msg.FetchFileRequest(file_id=1))
+            assert isinstance(reply, msg.FetchFileReply)
+            assert len(reply.ciphertexts) == 4
+
+
+def test_timeout_is_retried_transparently():
+    server = CloudServer()
+    backend = _SlowOnce(server, delay=1.0)
+    with TcpServerHost(backend) as host:
+        key, ids, keystore = _seeded_file(host.address, server.ctx, "retry")
+        backend.stalled = False  # stall the next delivery
+        retry = RetryPolicy(attempts=3, timeout=0.25, base_delay=0.01)
+        with TcpChannel(host.address, server.ctx, retry=retry) as channel:
+            client = AssuredDeletionClient(channel,
+                                           rng=DeterministicRandom("retry2"),
+                                           keystore=keystore, store_keys=False)
+            # The first attempt times out; the retransmit succeeds without
+            # the caller ever seeing the failure.
+            assert client.access(1, key, ids[1]) == b"net-1"
+            assert channel.counters.retransmits >= 1
+
+
+def test_retransmitted_commit_applies_exactly_once_over_tcp():
+    """A delete commit whose Ack is slow is retransmitted on a fresh
+    connection; the server's request-id cache answers it without applying
+    the deltas twice."""
+    server = CloudServer()
+    backend = _SlowReplyOnce(server, delay=1.0)
+    with TcpServerHost(backend) as host:
+        key, ids, keystore = _seeded_file(host.address, server.ctx, "idem")
+        retry = RetryPolicy(attempts=4, timeout=0.25, base_delay=0.01)
+        with TcpChannel(host.address, server.ctx, retry=retry) as channel:
+            client = AssuredDeletionClient(channel,
+                                           rng=DeterministicRandom("idem2"),
+                                           keystore=keystore, store_keys=False)
+            new_key = client.delete(1, key, ids[2])
+            assert channel.counters.retransmits >= 1
+            assert server.file_state(1).tree.leaf_count == 3
+            assert server.file_state(1).version == 1  # applied exactly once
+            for index in (0, 1, 3):
+                assert client.access(1, new_key, ids[index]) == \
+                    b"net-%d" % index
+
+
+def test_retry_policy_validation_and_backoff():
+    with pytest.raises(ValueError):
+        RetryPolicy(attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(timeout=0)
+    with pytest.raises(ValueError):
+        # The timeout lives inside the policy; passing both is ambiguous.
+        TcpChannel(("127.0.0.1", 1), CloudServer().ctx, timeout=1.0,
+                   retry=RetryPolicy())
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.3)
+    assert policy.delay_before(1) == pytest.approx(0.1)
+    assert policy.delay_before(2) == pytest.approx(0.2)
+    assert policy.delay_before(3) == pytest.approx(0.3)  # capped
+    assert policy.delay_before(9) == pytest.approx(0.3)

@@ -76,3 +76,78 @@ def test_rejects_wrong_parameters(tmp_path, scheme):
     save_server(scheme.server, path)
     with pytest.raises(ProtocolError):
         load_server(path, params=SHA256_PARAMS)
+
+
+def test_refuses_to_save_missing_ciphertext(tmp_path, scheme):
+    """A tree entry without its ciphertext is corruption.  Writing a
+    silently smaller image would look like a clean deletion on reload, so
+    save must refuse instead of dropping the item."""
+    fid, ids = scheme.new_file([b"a", b"b"])
+    scheme.server.file_state(fid).ciphertexts.delete(ids[0])
+    path = str(tmp_path / "server.state")
+    with pytest.raises(ProtocolError, match="no ciphertext"):
+        save_server(scheme.server, path)
+    assert not (tmp_path / "server.state").exists()  # nothing half-written
+
+
+def test_roundtrip_single_item_tree(tmp_path, scheme):
+    fid, ids = scheme.new_file([b"only"])
+    path = str(tmp_path / "server.state")
+    save_server(scheme.server, path)
+    restored = load_server(path)
+    assert snapshot_file(restored, fid) == snapshot_file(scheme.server, fid)
+    assert restored.file_state(fid).tree.leaf_count == 1
+    client = AssuredDeletionClient(LoopbackChannel(restored),
+                                   rng=DeterministicRandom("single"),
+                                   keystore=scheme.client.keystore,
+                                   store_keys=False)
+    assert client.access(fid, scheme._key(fid), ids[0]) == b"only"
+
+
+def test_roundtrip_post_delete_states(tmp_path, scheme):
+    """Deletion reshapes the tree (leaf moves, shrunk slot range); the
+    image must capture those states too, down to a single survivor."""
+    fid, ids = scheme.new_file([b"a", b"b", b"c", b"d"])
+    scheme.delete(fid, ids[0])
+    scheme.delete(fid, ids[3])
+    scheme.delete(fid, ids[2])
+    path = str(tmp_path / "server.state")
+    save_server(scheme.server, path)
+    restored = load_server(path)
+    assert snapshot_file(restored, fid) == snapshot_file(scheme.server, fid)
+    assert restored.file_state(fid).tree.leaf_count == 1
+    assert restored.file_state(fid).version == 3
+    client = AssuredDeletionClient(LoopbackChannel(restored),
+                                   rng=DeterministicRandom("post-delete"),
+                                   keystore=scheme.client.keystore,
+                                   store_keys=False)
+    assert client.access(fid, scheme._key(fid), ids[1]) == b"b"
+
+
+def test_idempotency_cache_round_trips(tmp_path):
+    """The request-id replay table rides in the image (format v2): a
+    commit whose Ack was lost is answered, not re-applied, by the
+    restored server."""
+    from repro.protocol.faults import (DROP_RESPONSE, NONE, ChannelError,
+                                       FaultInjectingChannel)
+    from repro.server.server import CloudServer
+
+    server = CloudServer()
+    channel = FaultInjectingChannel(server, [])
+    client = AssuredDeletionClient(channel,
+                                   rng=DeterministicRandom("replay-table"))
+    key = client.outsource(1, [b"a", b"b", b"c"])
+    ids = client.item_ids_of(3)
+    channel._schedule = iter([NONE, DROP_RESPONSE])
+    with pytest.raises(ChannelError):
+        client.delete(1, key, ids[1])
+
+    path = str(tmp_path / "server.state")
+    save_server(server, path)
+    restored = load_server(path)
+    assert restored.replay_cache_entries() == server.replay_cache_entries()
+
+    channel._server = restored
+    new_key = client.resume_delete(1, ids[1])
+    assert restored.file_state(1).version == 1  # answered from the cache
+    assert client.access(1, new_key, ids[0]) == b"a"

@@ -1,0 +1,168 @@
+"""The write-ahead commit log: format, torn tails, checkpoint, recovery."""
+
+import struct
+
+import pytest
+
+from repro.client.client import AssuredDeletionClient
+from repro.core.errors import ProtocolError
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol.channel import LoopbackChannel
+from repro.server.persistence import load_server
+from repro.server.server import CloudServer
+from repro.server.wal import CommitLog, checkpoint, recover_server
+from repro.sim.threat import snapshot_file
+
+HEADER = b"RWAL" + struct.pack(">H", 1)
+
+
+def test_empty_log_roundtrip(tmp_path):
+    path = str(tmp_path / "log")
+    with CommitLog(path) as log:
+        assert log.records() == []
+    assert (tmp_path / "log").read_bytes() == HEADER
+
+
+def test_append_and_reopen(tmp_path):
+    path = str(tmp_path / "log")
+    payloads = [b"alpha", b"", b"\x00" * 100, b"tail"]
+    with CommitLog(path) as log:
+        for payload in payloads:
+            log.append(payload)
+        assert log.appended == len(payloads)
+    with CommitLog(path) as log:
+        assert log.records() == payloads
+        assert log.appended == 0  # counter is per-session, not historical
+
+
+def test_torn_tail_is_truncated_and_log_stays_usable(tmp_path):
+    path = tmp_path / "log"
+    with CommitLog(str(path)) as log:
+        log.append(b"first")
+        log.append(b"second")
+    whole = path.read_bytes()
+    # Tear the last record anywhere: inside its length/CRC prefix or its
+    # payload.  Every cut must recover the intact prefix of the log.
+    second_start = len(HEADER) + 8 + len(b"first")
+    for cut in range(second_start + 1, len(whole)):
+        path.write_bytes(whole[:cut])
+        with CommitLog(str(path)) as log:
+            assert log.records() == [b"first"]
+            log.append(b"replacement")  # appends after the truncation point
+        with CommitLog(str(path)) as log:
+            assert log.records() == [b"first", b"replacement"]
+
+
+def test_corrupt_crc_drops_the_record(tmp_path):
+    path = tmp_path / "log"
+    with CommitLog(str(path)) as log:
+        log.append(b"ok")
+        log.append(b"mangled")
+    whole = bytearray(path.read_bytes())
+    whole[-1] ^= 0xFF  # flip a payload byte of the tail record
+    path.write_bytes(bytes(whole))
+    with CommitLog(str(path)) as log:
+        assert log.records() == [b"ok"]
+
+
+def test_torn_header_is_rewritten(tmp_path):
+    path = tmp_path / "log"
+    for cut in range(len(HEADER)):
+        path.write_bytes(HEADER[:cut])
+        with CommitLog(str(path)) as log:
+            assert log.records() == []
+        assert path.read_bytes() == HEADER
+
+
+def test_rejects_foreign_file(tmp_path):
+    path = tmp_path / "log"
+    path.write_bytes(b"not a commit log at all")
+    with pytest.raises(ProtocolError):
+        CommitLog(str(path))
+
+
+def test_rejects_unknown_version(tmp_path):
+    path = tmp_path / "log"
+    path.write_bytes(b"RWAL" + struct.pack(">H", 99))
+    with pytest.raises(ProtocolError):
+        CommitLog(str(path))
+
+
+def test_reset_empties_the_log(tmp_path):
+    path = tmp_path / "log"
+    with CommitLog(str(path)) as log:
+        log.append(b"x")
+        log.reset()
+        assert log.appended == 0
+        log.append(b"y")
+    with CommitLog(str(path)) as log:
+        assert log.records() == [b"y"]
+
+
+def _durable_pair(tmp_path, seed="wal"):
+    image = str(tmp_path / "server.img")
+    wal_path = str(tmp_path / "server.wal")
+    server = CloudServer(wal=CommitLog(wal_path))
+    client = AssuredDeletionClient(LoopbackChannel(server),
+                                   rng=DeterministicRandom(seed))
+    return server, client, image, wal_path
+
+
+def test_recovery_from_wal_alone(tmp_path):
+    """No checkpoint image yet: the WAL holds the full history."""
+    server, client, image, wal_path = _durable_pair(tmp_path)
+    key = client.outsource(1, [b"a", b"b", b"c"])
+    ids = client.item_ids_of(3)
+    key = client.delete(1, key, ids[1])
+
+    recovered = recover_server(image, wal_path)
+    assert snapshot_file(recovered, 1) == snapshot_file(server, 1)
+    assert recovered.file_state(1).version == 1
+    # The recovered server keeps logging: a further commit survives too.
+    client2 = AssuredDeletionClient(LoopbackChannel(recovered),
+                                    rng=DeterministicRandom("wal-2"),
+                                    keystore=client.keystore, store_keys=False)
+    client2.modify(1, key, ids[0], b"a-v2")
+    again = recover_server(image, wal_path)
+    assert snapshot_file(again, 1) == snapshot_file(recovered, 1)
+
+
+def test_checkpoint_folds_wal_into_image(tmp_path):
+    server, client, image, wal_path = _durable_pair(tmp_path)
+    key = client.outsource(1, [b"a", b"b"])
+    ids = client.item_ids_of(2)
+    client.delete(1, key, ids[0])
+    assert server.wal.appended >= 2
+
+    checkpoint(server, image)
+    assert server.wal.appended == 0
+    with open(wal_path, "rb") as handle:
+        assert handle.read() == HEADER
+    # The image alone now reproduces the state.
+    assert snapshot_file(load_server(image), 1) == snapshot_file(server, 1)
+    # And recovery (image + empty WAL) agrees.
+    recovered = recover_server(image, wal_path)
+    assert snapshot_file(recovered, 1) == snapshot_file(server, 1)
+
+
+def test_wal_replay_after_checkpoint_is_idempotent(tmp_path):
+    """Crash between image replace and WAL reset: the logged commits are
+    already in the image, and the request-id cache (persisted with it)
+    answers the replay instead of applying the deltas twice."""
+    server, client, image, wal_path = _durable_pair(tmp_path)
+    key = client.outsource(1, [b"a", b"b", b"c", b"d"])
+    ids = client.item_ids_of(4)
+    new_key = client.delete(1, key, ids[2])
+
+    # Checkpoint WITHOUT resetting the WAL, simulating the torn middle of
+    # repro.server.wal.checkpoint.
+    from repro.server.persistence import save_server
+    save_server(server, image)
+
+    recovered = recover_server(image, wal_path)
+    assert snapshot_file(recovered, 1) == snapshot_file(server, 1)
+    assert recovered.file_state(1).version == 1  # not applied twice
+    client2 = AssuredDeletionClient(LoopbackChannel(recovered),
+                                    rng=DeterministicRandom("wal-3"),
+                                    keystore=client.keystore, store_keys=False)
+    assert client2.access(1, new_key, ids[0]) == b"a"
