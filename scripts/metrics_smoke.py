@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""CI smoke test for the observability stack.
+
+Starts ``repro-vault serve --durable --metrics-port`` as a subprocess,
+drives a put and an assured deletion over real TCP, forces a request-id
+replay-cache hit with a deliberate duplicate request, scrapes
+``/metrics``, and asserts the WAL-fsync and replay-cache series are
+present and non-zero.
+
+Exits non-zero (with the scrape dumped to stderr) on any failure, so it
+can gate CI directly:
+
+    python scripts/metrics_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(workdir: str, *args: str, stdin: str | None = None) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=workdir, env=cli_env(), input=stdin,
+        capture_output=True, text=True, timeout=120)
+    if result.returncode != 0:
+        raise SystemExit(f"cli {args} failed:\n{result.stderr}")
+    return result.stdout
+
+
+def read_until(stream, pattern: str, deadline: float) -> re.Match:
+    lines = []
+    while time.time() < deadline:
+        line = stream.readline()
+        if not line:
+            time.sleep(0.05)
+            continue
+        lines.append(line)
+        match = re.search(pattern, line)
+        if match:
+            return match
+    raise SystemExit(f"server never printed {pattern!r}; saw: {lines}")
+
+
+def metric_value(text: str, name: str, labels: str = "") -> float:
+    pattern = re.escape(name) + re.escape(labels) + r" ([0-9.eE+-]+|\+Inf)$"
+    total = 0.0
+    found = False
+    for line in text.splitlines():
+        match = re.match(pattern if labels else
+                         re.escape(name) + r"(?:\{[^}]*\})? ([0-9.eE+-]+)$",
+                         line)
+        if match:
+            total += float(match.group(1))
+            found = True
+    if not found:
+        raise SystemExit(f"metric {name}{labels} missing from scrape")
+    return total
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="repro-smoke-")
+    run_cli(workdir, "init")
+    run_cli(workdir, "put", "docs/smoke.txt",
+            stdin="alpha\nbeta\ngamma\ndelta\n")
+
+    serve = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--durable",
+         "--metrics-port", "0"],
+        cwd=workdir, env=cli_env(), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    try:
+        deadline = time.time() + 30
+        metrics_match = read_until(serve.stdout,
+                                   r"metrics on http://([0-9.]+):(\d+)",
+                                   deadline)
+        serve_match = read_until(serve.stdout,
+                                 r"serving vault on ([0-9.]+):(\d+)",
+                                 deadline)
+        metrics_addr = (metrics_match.group(1), int(metrics_match.group(2)))
+        server_addr = (serve_match.group(1), int(serve_match.group(2)))
+
+        # Put and assuredly delete over real TCP.
+        sys.path.insert(0, SRC)
+        from repro.fs.filesystem import OutsourcedFileSystem
+        from repro.protocol import messages as msg
+        from repro.protocol.tcp import TcpChannel
+        from repro.protocol.wire import WireContext
+        from repro.core.params import Params
+
+        fs = OutsourcedFileSystem.connect(server_addr)
+        handle = fs.create_file("net/data.txt", [b"r0", b"r1", b"r2"])
+        handle.delete_record(1)
+
+        # Force a request-id replay hit: send the same mutating request
+        # twice over a raw channel (the second is answered from cache).
+        ctx = WireContext(modulator_width=Params().modulator_size)
+        with TcpChannel(server_addr, ctx) as channel:
+            probe = msg.DeleteFileRequest(file_id=999_999_999,
+                                          request_id=0xC0FFEE)
+            first = channel.request(probe)
+            second = channel.request(probe)
+            assert type(first) is type(second), (first, second)
+
+        url = f"http://{metrics_addr[0]}:{metrics_addr[1]}/metrics"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            text = response.read().decode("utf-8")
+
+        try:
+            fsyncs = metric_value(text, "repro_wal_appends_total")
+            fsync_count = metric_value(text, "repro_wal_fsync_seconds_count")
+            hits = metric_value(text, "repro_replay_cache_hits_total",
+                                '{cache="request_id"}')
+            requests = metric_value(text, "repro_server_requests_total")
+        except SystemExit:
+            sys.stderr.write(text)
+            raise
+        assert fsyncs > 0, f"no WAL appends recorded: {fsyncs}"
+        assert fsync_count > 0, f"no WAL fsyncs recorded: {fsync_count}"
+        assert hits > 0, f"no replay-cache hits recorded: {hits}"
+        assert requests > 0, f"no server requests recorded: {requests}"
+        print(f"metrics smoke OK: {int(requests)} requests, "
+              f"{int(fsyncs)} WAL appends, {int(hits)} replay hit(s)")
+        return 0
+    finally:
+        serve.terminate()
+        try:
+            serve.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            serve.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,8 +22,14 @@ Commands::
     repro-vault drop <name>                 # assured whole-file deletion
     repro-vault serve --port 9000           # expose the vault over TCP
     repro-vault serve --port 9000 --durable # crash-safe: WAL + checkpoints
+    repro-vault serve --metrics-port 9100   # + Prometheus /metrics over HTTP
     repro-vault probe <host> <port>         # health-check a served vault
+    repro-vault metrics <host> <port>       # scrape a served vault's metrics
+    repro-vault trace <name> <position>     # traced read: JSON spans on stdout
     repro-vault stats
+
+``--log-json PATH`` (any command) turns observability on and appends the
+structured span/event log to PATH (``-`` streams it to stderr).
 
 ``--rpc-timeout`` / ``--rpc-attempts`` / ``--rpc-backoff`` tune the TCP
 retry policy used by client-side commands (``probe``): a timed-out
@@ -80,6 +86,9 @@ class Vault:
 
 def _print(value: str) -> None:
     sys.stdout.write(value + "\n")
+    # Flushed per line so a parent process driving the CLI through a pipe
+    # (the CI metrics smoke test) sees 'serving ...' before blocking.
+    sys.stdout.flush()
 
 
 def cmd_init(vault: Vault, _args) -> int:
@@ -185,6 +194,15 @@ def cmd_serve(vault: Vault, args) -> int:
         raise ReproError("this vault was created against an external server")
     from repro.protocol.tcp import TcpServerHost
 
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro import obs
+        if not obs.is_enabled():
+            obs.enable(service="repro-vault")
+        metrics_server = obs.start_metrics_server(args.metrics_port)
+        _print(f"metrics on http://{metrics_server.address[0]}:"
+               f"{metrics_server.address[1]}/metrics")
+
     server = vault.fs.server
     if args.durable:
         # Crash-safe mode: state lives in an image + write-ahead log under
@@ -211,6 +229,8 @@ def cmd_serve(vault: Vault, args) -> int:
         finally:
             if args.durable:
                 checkpoint(server, image)
+            if metrics_server is not None:
+                metrics_server.stop()
     return 0
 
 
@@ -242,6 +262,38 @@ def cmd_probe(vault: Vault, args) -> int:
     return 0 if alive else 1
 
 
+def cmd_metrics(_vault: Vault, args) -> int:
+    """Scrape a served vault's Prometheus endpoint and print it."""
+    import urllib.request
+
+    url = f"http://{args.host}:{args.port}/metrics"
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        sys.stdout.write(response.read().decode("utf-8"))
+    sys.stdout.flush()
+    return 0
+
+
+def cmd_trace(vault: Vault, args) -> int:
+    """Read one record with tracing on; print the span log as JSON lines.
+
+    The spans (one trace id across the whole read, including the
+    two-level key fetch) go to stdout; the record's value goes to stderr
+    so stdout stays machine-parseable.
+    """
+    from repro import obs
+
+    vault.load()
+    already_on = obs.is_enabled()
+    obs.enable(log_stream=sys.stdout, service="repro-vault")
+    try:
+        value = vault.fs.open(args.name).read_record(args.position)
+    finally:
+        if not already_on:
+            obs.disable()
+    print(value.decode(errors="replace"), file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-vault",
@@ -257,6 +309,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="total tries per request (1 = no retry)")
     parser.add_argument("--rpc-backoff", type=float, default=0.05,
                         help="base delay of the exponential retry backoff")
+    parser.add_argument("--log-json", metavar="PATH", default=None,
+                        help="enable observability and append JSON span/"
+                             "event logs to PATH ('-' for stderr)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("init").set_defaults(func=cmd_init)
@@ -293,16 +348,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--durable", action="store_true",
                        help="serve crash-safe state (WAL + checkpoint image "
                             "under the server directory)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="also expose Prometheus metrics over HTTP on "
+                            "this port (0 = ephemeral)")
     serve.set_defaults(func=cmd_serve)
     probe = sub.add_parser("probe")
     probe.add_argument("host")
     probe.add_argument("port", type=int)
     probe.set_defaults(func=cmd_probe)
+    metrics = sub.add_parser("metrics")
+    metrics.add_argument("host")
+    metrics.add_argument("port", type=int)
+    metrics.set_defaults(func=cmd_metrics)
+    trace = sub.add_parser("trace")
+    trace.add_argument("name")
+    trace.add_argument("position", type=int)
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_json is not None:
+        from repro import obs
+        if args.log_json == "-":
+            obs.enable(log_stream=sys.stderr, service="repro-vault")
+        else:
+            obs.enable(log_path=args.log_json, service="repro-vault")
     vault = Vault(args.server_dir, args.client_file)
     try:
         return args.func(vault, args)

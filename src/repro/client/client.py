@@ -25,10 +25,13 @@ out), client wall time excluding server time, and chain-hash counts.
 
 from __future__ import annotations
 
+import functools
 import time
 from typing import Optional, Sequence
 
 from repro.client.keystore import KeyStore
+from repro.obs import runtime as obs
+from repro.obs.trace import span
 from repro.core import ops
 from repro.core.ciphertext import ItemCodec
 from repro.core.errors import (DuplicateModulatorError, IntegrityError,
@@ -41,6 +44,27 @@ from repro.protocol import messages as msg
 from repro.protocol.channel import Channel
 from repro.sim.metrics import MetricsCollector, OpRecord
 from repro.crypto.rng import RandomSource, SystemRandom
+
+
+def _traced(op: str):
+    """Wrap a client operation in a root span named ``client.<op>``.
+
+    The span's context becomes the parent of every ``rpc.request`` span
+    (and, through the wire trailer, of the server's spans), so one
+    ``trace_id`` follows the whole operation.  Disabled observability
+    short-circuits to the bare call.
+    """
+    def decorate(fn):
+        name = "client." + op
+
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            if not obs.enabled:
+                return fn(self, *args, **kwargs)
+            with span(name):
+                return fn(self, *args, **kwargs)
+        return wrapper
+    return decorate
 
 
 class AssuredDeletionClient:
@@ -135,6 +159,7 @@ class AssuredDeletionClient:
     # Outsourcing
     # ------------------------------------------------------------------
 
+    @_traced("outsource")
     def outsource(self, file_id: int, items: Sequence[bytes]) -> bytes:
         """Encrypt and upload ``items`` as a new file; return the master key.
 
@@ -221,6 +246,7 @@ class AssuredDeletionClient:
                 f"server returned item {recovered_id} instead of {item_id}")
         return message, chain_output, reply.tree_version
 
+    @_traced("access")
     def access(self, file_id: int, master_key: bytes, item_id: int) -> bytes:
         """Fetch, decrypt, and verify one item."""
         begin = self._begin()
@@ -229,6 +255,7 @@ class AssuredDeletionClient:
         self._finish("access", begin)
         return message
 
+    @_traced("modify")
     def modify(self, file_id: int, master_key: bytes, item_id: int,
                new_message: bytes) -> None:
         """Replace one item's plaintext, re-encrypting under the same key."""
@@ -258,6 +285,7 @@ class AssuredDeletionClient:
     # Insertion
     # ------------------------------------------------------------------
 
+    @_traced("insert")
     def insert(self, file_id: int, master_key: bytes, message: bytes) -> int:
         """Insert a new item; returns its id."""
         begin = self._begin()
@@ -295,6 +323,7 @@ class AssuredDeletionClient:
     # Deletion (the paper's core operation)
     # ------------------------------------------------------------------
 
+    @_traced("delete")
     def delete(self, file_id: int, master_key: bytes, item_id: int) -> bytes:
         """Assuredly delete one item; returns the *new* master key.
 
@@ -404,6 +433,7 @@ class AssuredDeletionClient:
         """(file_id, item_id) pairs whose deletion commit is unconfirmed."""
         return sorted(self._pending_deletes)
 
+    @_traced("resume_delete")
     def resume_delete(self, file_id: int, item_id: int) -> bytes:
         """Finalise a deletion whose Ack was lost in transit.
 
@@ -431,6 +461,7 @@ class AssuredDeletionClient:
     # Batched deletion
     # ------------------------------------------------------------------
 
+    @_traced("delete_many")
     def delete_many(self, file_id: int, master_key: bytes,
                     item_ids: Sequence[int]) -> bytes:
         """Assuredly delete a *set* of items in one exchange.
@@ -527,6 +558,7 @@ class AssuredDeletionClient:
         """(file_id, item_ids) pairs whose batch commit is unconfirmed."""
         return sorted(self._pending_batch_deletes)
 
+    @_traced("resume_delete_many")
     def resume_delete_many(self, file_id: int,
                            item_ids: Sequence[int]) -> bytes:
         """Finalise a batched deletion whose Ack was lost in transit.
@@ -555,6 +587,7 @@ class AssuredDeletionClient:
     # Whole-file operations
     # ------------------------------------------------------------------
 
+    @_traced("fetch_file")
     def fetch_file(self, file_id: int, master_key: bytes) -> dict[int, bytes]:
         """Download and decrypt the whole file; item id -> plaintext."""
         begin = self._begin()
@@ -579,6 +612,7 @@ class AssuredDeletionClient:
         self._finish("fetch_file", begin)
         return result
 
+    @_traced("delete_file_state")
     def delete_file_state(self, file_id: int) -> None:
         """Ask the server to drop a file's state (space reclamation only)."""
         begin = self._begin()

@@ -14,6 +14,7 @@ with their full two-level cost.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -23,9 +24,31 @@ from repro.core.meta import MetaKeyManager
 from repro.core.params import Params
 from repro.crypto.rng import RandomSource, SystemRandom
 from repro.fs.indexing import ItemIndex, Located
+from repro.obs import runtime as obs
+from repro.obs.trace import span
 from repro.protocol.channel import Channel, LoopbackChannel
 from repro.server.server import CloudServer
 from repro.sim.metrics import MetricsCollector
+
+
+def _traced_fs(op: str):
+    """Wrap a file-level operation in a span named ``fs.<op>``.
+
+    The span carries the file name, so a two-level operation (data tree
+    plus meta tree) shows up as one ``fs.*`` root over its ``client.*``
+    and ``rpc.request`` children.  No-op while observability is off.
+    """
+    def decorate(fn):
+        name = "fs." + op
+
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            if not obs.enabled:
+                return fn(self, *args, **kwargs)
+            with span(name, file=self.name):
+                return fn(self, *args, **kwargs)
+        return wrapper
+    return decorate
 
 
 def directory_group(name: str) -> str:
@@ -72,12 +95,14 @@ class OutsourcedFile:
     def _meta(self) -> MetaKeyManager:
         return self._fs._group_manager(self._record.group)
 
+    @_traced_fs("read_record")
     def read_record(self, position: int) -> bytes:
         """Read the record at logical ``position``."""
         item_id = self._record.index.item_id_at(position)
         key = self._meta().master_key(self._record.file_id)
         return self._fs.client.access(self._record.file_id, key, item_id)
 
+    @_traced_fs("write_record")
     def write_record(self, position: int, data: bytes) -> None:
         """Replace the record at logical ``position`` (same data key)."""
         item_id = self._record.index.item_id_at(position)
@@ -85,6 +110,7 @@ class OutsourcedFile:
         self._fs.client.modify(self._record.file_id, key, item_id, data)
         self._record.index.update_size(position, len(data))
 
+    @_traced_fs("insert_record")
     def insert_record(self, position: int, data: bytes) -> int:
         """Insert a new record before logical ``position``; returns its id."""
         key = self._meta().master_key(self._record.file_id)
@@ -96,6 +122,7 @@ class OutsourcedFile:
         """Append a record at the end of the file; returns its id."""
         return self.insert_record(len(self._record.index), data)
 
+    @_traced_fs("delete_record")
     def delete_record(self, position: int) -> None:
         """Assuredly delete the record at logical ``position``.
 
@@ -110,6 +137,7 @@ class OutsourcedFile:
         meta.replace_master_key(self._record.file_id, new_key)
         self._record.index.remove(position)
 
+    @_traced_fs("delete_many")
     def delete_many(self, positions: Sequence[int]) -> None:
         """Assuredly delete the records at several logical positions.
 
@@ -163,6 +191,7 @@ class OutsourcedFile:
         """Assuredly delete the record containing byte ``offset``."""
         self.delete_record(self.locate(offset).position)
 
+    @_traced_fs("read_all")
     def read_all(self) -> list[bytes]:
         """Fetch the whole file, in logical record order."""
         key = self._meta().master_key(self._record.file_id)
@@ -251,6 +280,13 @@ class OutsourcedFileSystem:
     def create_file(self, name: str,
                     records: Sequence[bytes] = ()) -> OutsourcedFile:
         """Outsource ``records`` as a new named file."""
+        if not obs.enabled:
+            return self._create_file(name, records)
+        with span("fs.create_file", file=name, records=len(records)):
+            return self._create_file(name, records)
+
+    def _create_file(self, name: str,
+                     records: Sequence[bytes]) -> OutsourcedFile:
         if name in self._files:
             raise ReproError(f"file {name!r} already exists")
         group = self._group_of(name)
@@ -282,6 +318,12 @@ class OutsourcedFileSystem:
 
     def delete_file(self, name: str) -> None:
         """Assured whole-file deletion: shred its master key in the meta tree."""
+        if not obs.enabled:
+            return self._delete_file(name)
+        with span("fs.delete_file", file=name):
+            return self._delete_file(name)
+
+    def _delete_file(self, name: str) -> None:
         record = self._files.pop(name, None)
         if record is None:
             raise UnknownItemError(f"no such file {name!r}")

@@ -1,0 +1,42 @@
+"""Observability: tracing, structured logs, and metrics.
+
+One subsystem shared by every layer of the deletion protocol:
+
+* :mod:`repro.obs.trace` -- W3C-style trace contexts and spans; span
+  contexts ride the optional wire trailer so one ``trace_id`` follows an
+  operation client -> TCP -> server -> WAL.
+* :mod:`repro.obs.logs` -- JSON-lines structured logging (the span/event
+  sink).
+* :mod:`repro.obs.metrics` -- counters, gauges, fixed-bucket histograms,
+  and Prometheus text rendering; :mod:`repro.obs.instruments` declares
+  every exported metric in one place.
+* :mod:`repro.obs.httpd` -- the ``/metrics`` HTTP endpoint (imported
+  lazily; use :func:`start_metrics_server`).
+
+Everything is **disabled by default**: call
+:func:`repro.obs.runtime.enable` (also re-exported here) to turn it on.
+Instrumented fast paths guard on ``runtime.enabled`` so the off state
+costs one attribute check per call site.
+"""
+
+from repro.obs import runtime
+from repro.obs.metrics import (LATENCY_BUCKETS, REGISTRY, Counter, Gauge,
+                               Histogram, MetricsRegistry,
+                               render_prometheus)
+from repro.obs.runtime import disable, enable, is_enabled
+from repro.obs.trace import (TraceContext, current, log_event, span,
+                             trace_scope)
+
+__all__ = [
+    "runtime", "enable", "disable", "is_enabled",
+    "TraceContext", "current", "span", "trace_scope", "log_event",
+    "REGISTRY", "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "LATENCY_BUCKETS", "render_prometheus", "start_metrics_server",
+]
+
+
+def start_metrics_server(port: int = 0, host: str = "127.0.0.1",
+                         registry: MetricsRegistry | None = None):
+    """Start a :class:`~repro.obs.httpd.MetricsServer` (lazy import)."""
+    from repro.obs.httpd import MetricsServer
+    return MetricsServer(registry, host=host, port=port).start()

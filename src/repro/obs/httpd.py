@@ -1,0 +1,79 @@
+"""Prometheus text exposition over HTTP.
+
+A threaded stdlib HTTP server exposing ``/metrics`` (and a trivial
+``/healthz``) for ``repro-vault serve --metrics-port`` and anything else
+that wants to scrape the process.  Deliberately minimal: GET only, no
+TLS, bind it to loopback or a private interface.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _make_handler(registry: MetricsRegistry):
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+            if self.path.split("?", 1)[0] == "/metrics":
+                body = registry.render().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            elif self.path == "/healthz":
+                body = b"ok\n"
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            else:
+                self.send_error(404, "try /metrics")
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib API
+            pass  # scrapes must not spam the server's stdout
+
+    return Handler
+
+
+class MetricsServer:
+    """Serves a registry on ``host:port`` from a daemon thread."""
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.registry = registry if registry is not None else REGISTRY
+        self._httpd = ThreadingHTTPServer((host, port),
+                                          _make_handler(self.registry))
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address  # type: ignore[return-value]
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-http", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,136 @@
+"""Every metric the system exports, declared in one place.
+
+Instrumented modules import the objects below; the names, labels, and
+semantics are documented for operators in ``docs/OBSERVABILITY.md`` --
+keep the two in sync.
+
+Naming follows Prometheus conventions: ``_total`` counters, ``_seconds``
+histograms with base-unit values, gauges bare.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import LATENCY_BUCKETS, REGISTRY
+
+#: Buckets for fsync and checkpoint (disk) latencies: 10 us .. 2.5 s.
+DISK_BUCKETS = (0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+                0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                0.5, 1.0, 2.5)
+
+# ---------------------------------------------------------------------
+# Channel / RPC (client side)
+# ---------------------------------------------------------------------
+
+RPC_SECONDS = REGISTRY.histogram(
+    "repro_rpc_seconds",
+    "Round-trip latency of one protocol exchange, by message type",
+    ("type",), LATENCY_BUCKETS)
+RPC_BYTES = REGISTRY.counter(
+    "repro_rpc_bytes_total",
+    "Protocol bytes moved by the channel (excludes transport framing)",
+    ("direction",))
+RPC_RETRANSMITS = REGISTRY.counter(
+    "repro_rpc_retransmits_total",
+    "Requests retransmitted after a timeout or connection failure")
+RPC_FAILURES = REGISTRY.counter(
+    "repro_rpc_failures_total",
+    "Requests that exhausted every transport attempt")
+
+# ---------------------------------------------------------------------
+# TCP host (server side)
+# ---------------------------------------------------------------------
+
+TCP_CONNECTIONS = REGISTRY.counter(
+    "repro_tcp_connections_total",
+    "Client connections accepted by the TCP host")
+TCP_INFLIGHT = REGISTRY.gauge(
+    "repro_tcp_inflight_connections",
+    "Currently open client connections")
+
+# ---------------------------------------------------------------------
+# Server handlers
+# ---------------------------------------------------------------------
+
+SERVER_REQUESTS = REGISTRY.counter(
+    "repro_server_requests_total",
+    "Requests dispatched to a handler, by message type",
+    ("type",))
+SERVER_ERRORS = REGISTRY.counter(
+    "repro_server_errors_total",
+    "ErrorReply responses, by message type and error code",
+    ("type", "code"))
+SERVER_HANDLE_SECONDS = REGISTRY.histogram(
+    "repro_server_handle_seconds",
+    "Server-side handling latency, by message type",
+    ("type",), LATENCY_BUCKETS)
+REPLAY_LOOKUPS = REGISTRY.counter(
+    "repro_replay_cache_lookups_total",
+    "Idempotency-cache lookups (request-id or per-file commit digest)",
+    ("cache",))
+REPLAY_HITS = REGISTRY.counter(
+    "repro_replay_cache_hits_total",
+    "Retransmissions answered from a replay cache instead of re-applied",
+    ("cache",))
+TREE_VERSION = REGISTRY.gauge(
+    "repro_tree_version",
+    "Current modulation-tree version per file",
+    ("file_id",))
+
+# ---------------------------------------------------------------------
+# Durability: WAL, checkpoints, recovery
+# ---------------------------------------------------------------------
+
+WAL_APPENDS = REGISTRY.counter(
+    "repro_wal_appends_total",
+    "Mutating requests made durable in the write-ahead commit log")
+WAL_APPEND_BYTES = REGISTRY.counter(
+    "repro_wal_append_bytes_total",
+    "Payload bytes appended to the write-ahead commit log")
+WAL_FSYNC_SECONDS = REGISTRY.histogram(
+    "repro_wal_fsync_seconds",
+    "fsync latency of one durable WAL append",
+    (), DISK_BUCKETS)
+WAL_REPLAYED = REGISTRY.counter(
+    "repro_wal_replayed_records_total",
+    "WAL records re-executed during crash recovery")
+WAL_TRUNCATED = REGISTRY.counter(
+    "repro_wal_truncated_records_total",
+    "Torn/corrupt tail records discarded when opening the WAL")
+CHECKPOINTS = REGISTRY.counter(
+    "repro_checkpoints_total",
+    "Checkpoint images written (WAL folded into the state image)")
+CHECKPOINT_SECONDS = REGISTRY.histogram(
+    "repro_checkpoint_seconds",
+    "Wall time of one checkpoint (image write + WAL reset)",
+    (), DISK_BUCKETS)
+CHECKPOINT_IMAGE_BYTES = REGISTRY.gauge(
+    "repro_checkpoint_image_bytes",
+    "Size of the most recent checkpoint image")
+RECOVERIES = REGISTRY.counter(
+    "repro_recoveries_total",
+    "Server recoveries from checkpoint image + WAL replay")
+
+# ---------------------------------------------------------------------
+# Client operations (bridged from sim.metrics OpRecords)
+# ---------------------------------------------------------------------
+
+OPS_TOTAL = REGISTRY.counter(
+    "repro_ops_total",
+    "Completed client operations, by operation",
+    ("op",))
+OP_SECONDS = REGISTRY.histogram(
+    "repro_op_seconds",
+    "Client-side latency per operation (excludes server time)",
+    ("op",), LATENCY_BUCKETS)
+OP_BYTES = REGISTRY.counter(
+    "repro_op_bytes_total",
+    "Protocol bytes attributed to client operations",
+    ("op", "direction"))
+OP_ROUND_TRIPS = REGISTRY.counter(
+    "repro_op_round_trips_total",
+    "Protocol round trips attributed to client operations",
+    ("op",))
+OP_RETRIES = REGISTRY.counter(
+    "repro_op_retries_total",
+    "Application-level retries (duplicate modulator / stale state)",
+    ("op",))

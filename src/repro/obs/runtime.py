@@ -1,0 +1,67 @@
+"""Global observability switch and the sim-metrics bridge.
+
+Observability is **off by default** and the off state must be nearly
+free: every instrumented call site guards on the module-level
+``enabled`` flag (one attribute load) before building spans, labels, or
+log records, so the loopback fast path pays only that check.
+
+``enable()`` flips the flag and configures the JSON log sink;
+``disable()`` flips it back (the metrics registry keeps its values so a
+scrape after a burst still sees it -- call
+:meth:`~repro.obs.metrics.MetricsRegistry.reset` explicitly to zero it).
+
+:func:`record_op` is the bridge the experiment harness shares with
+production counters: every :class:`~repro.sim.metrics.OpRecord` the
+client's :class:`~repro.sim.metrics.MetricsCollector` accumulates is
+also folded into the process-wide registry, so `Table 2`-style harness
+numbers and a scraped ``/metrics`` page are two views of one source of
+truth.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Optional
+
+#: Fast-path flag.  Instrumented modules read this attribute directly
+#: (``if obs.enabled:``); never rebind it from outside -- use
+#: :func:`enable` / :func:`disable`.
+enabled = False
+
+
+def enable(log_path: Optional[str] = None,
+           log_stream: Optional[IO[str]] = None,
+           service: str = "repro") -> None:
+    """Turn observability on, optionally directing JSON logs to a sink.
+
+    With neither ``log_path`` nor ``log_stream``, spans and events are
+    counted in metrics but not logged anywhere.
+    """
+    global enabled
+    from repro.obs import logs
+    logs.configure(path=log_path, stream=log_stream, service=service)
+    enabled = True
+
+
+def disable() -> None:
+    """Turn observability off and detach the log sink."""
+    global enabled
+    enabled = False
+    from repro.obs import logs
+    logs.configure(path=None, stream=None)
+
+
+def is_enabled() -> bool:
+    return enabled
+
+
+def record_op(record) -> None:
+    """Fold one :class:`~repro.sim.metrics.OpRecord` into the registry."""
+    from repro.obs import instruments as ins
+    op = record.op
+    ins.OPS_TOTAL.inc(1, op=op)
+    ins.OP_SECONDS.observe(record.client_seconds, op=op)
+    ins.OP_BYTES.inc(record.bytes_sent, op=op, direction="sent")
+    ins.OP_BYTES.inc(record.bytes_received, op=op, direction="received")
+    ins.OP_ROUND_TRIPS.inc(record.round_trips, op=op)
+    if record.retries:
+        ins.OP_RETRIES.inc(record.retries, op=op)

@@ -1,0 +1,174 @@
+"""W3C-style trace context and spans.
+
+A trace follows one logical operation end to end: the client op starts a
+root span, every protocol round trip is a child span whose context is
+serialised into the message's optional trace trailer
+(:mod:`repro.protocol.messages`), and the server adopts that context so
+its handler, WAL, and replay-cache records share the client's
+``trace_id``.  Ids follow the W3C Trace Context sizes: a 16-byte trace
+id and 8-byte span ids.
+
+Spans are contextvar-scoped, so concurrent server handler threads and
+interleaved client operations each see their own current span.  With
+observability disabled, :func:`span` returns a shared no-op object and
+allocates nothing.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs import logs, runtime
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one span within one trace."""
+
+    trace_id: bytes  # 16 bytes
+    span_id: bytes   # 8 bytes
+    flags: int = 1   # bit 0: sampled (always set by this implementation)
+
+    def __post_init__(self) -> None:
+        if len(self.trace_id) != 16:
+            raise ValueError("trace_id must be 16 bytes")
+        if len(self.span_id) != 8:
+            raise ValueError("span_id must be 8 bytes")
+
+    @property
+    def trace_id_hex(self) -> str:
+        return self.trace_id.hex()
+
+    @property
+    def span_id_hex(self) -> str:
+        return self.span_id.hex()
+
+
+_current: contextvars.ContextVar[Optional[TraceContext]] = \
+    contextvars.ContextVar("repro-obs-current-span", default=None)
+
+
+def current() -> Optional[TraceContext]:
+    """The context of the innermost active span, if any."""
+    return _current.get()
+
+
+class Span:
+    """An active span; use via ``with span(name, **attrs):``."""
+
+    __slots__ = ("name", "attrs", "context", "parent_span_id",
+                 "_token", "_start")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        parent = _current.get()
+        if parent is None:
+            trace_id = os.urandom(16)
+            self.parent_span_id: Optional[bytes] = None
+        else:
+            trace_id = parent.trace_id
+            self.parent_span_id = parent.span_id
+        self.context = TraceContext(trace_id=trace_id,
+                                    span_id=os.urandom(8))
+
+    def annotate(self, **attrs) -> None:
+        """Attach extra attributes to the span's end record."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._token = _current.set(self.context)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        _current.reset(self._token)
+        record = {
+            "event": "span",
+            "name": self.name,
+            "trace_id": self.context.trace_id_hex,
+            "span_id": self.context.span_id_hex,
+            "duration_ms": round(duration * 1e3, 6),
+            "status": "ok" if exc_type is None else "error",
+        }
+        if self.parent_span_id is not None:
+            record["parent_span_id"] = self.parent_span_id.hex()
+        if exc_type is not None:
+            record["error"] = f"{exc_type.__name__}: {exc}"
+        record.update(self.attrs)
+        logs.emit(record)
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled fast path."""
+
+    __slots__ = ()
+    context: Optional[TraceContext] = None
+    parent_span_id = None
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs):
+    """Open a span (a no-op object when observability is disabled)."""
+    if not runtime.enabled:
+        return NULL_SPAN
+    return Span(name, attrs)
+
+
+class _Scope:
+    """Adopt a remote trace context as the current one (server side)."""
+
+    __slots__ = ("_context", "_token")
+
+    def __init__(self, context: Optional[TraceContext]) -> None:
+        self._context = context
+        self._token = None
+
+    def __enter__(self) -> "_Scope":
+        if self._context is not None:
+            self._token = _current.set(self._context)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._token is not None:
+            _current.reset(self._token)
+        return False
+
+
+def trace_scope(context: Optional[TraceContext]) -> _Scope:
+    """Run a block under a trace context received over the wire.
+
+    ``None`` (untraced message) leaves the current context untouched, so
+    spans opened inside start a fresh trace as usual.
+    """
+    return _Scope(context if runtime.enabled else None)
+
+
+def log_event(event: str, **attrs) -> None:
+    """Emit one point-in-time record under the current trace context."""
+    if not runtime.enabled:
+        return
+    record = {"event": event}
+    context = _current.get()
+    if context is not None:
+        record["trace_id"] = context.trace_id_hex
+        record["span_id"] = context.span_id_hex
+    record.update(attrs)
+    logs.emit(record)

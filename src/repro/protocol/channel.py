@@ -13,6 +13,8 @@ import time
 from dataclasses import dataclass
 
 from repro.core.errors import ProtocolError
+from repro.obs import runtime as obs
+from repro.obs.trace import span
 from repro.protocol.messages import Message, decode_message, encode_message
 from repro.protocol.wire import WireContext
 from repro.sim.network import NetworkModel
@@ -65,18 +67,48 @@ class Channel(abc.ABC):
 
     def request(self, message: Message) -> Message:
         """Send one request and return the decoded response, metering both."""
-        request_bytes = encode_message(self.ctx, message)
-        response_bytes = self._transport(request_bytes)
-        response = decode_message(self.ctx, response_bytes)
+        if obs.enabled:
+            return self._request_observed(message)
+        return self._exchange(message, None)
 
+    def _request_observed(self, message: Message) -> Message:
+        """Traced/metered variant: a span per round trip, context on the
+        wire, and per-message-type latency histograms."""
+        import time as _time
+
+        from repro.obs import instruments as ins
+        mtype = type(message).__name__
+        with span("rpc.request", type=mtype) as sp:
+            start = _time.perf_counter()
+            try:
+                response = self._exchange(message, sp.context)
+            except Exception:
+                ins.RPC_FAILURES.inc()
+                raise
+            ins.RPC_SECONDS.observe(_time.perf_counter() - start,
+                                    type=mtype)
+            sp.annotate(response=type(response).__name__)
+            return response
+
+    def _exchange(self, message: Message, trace) -> Message:
+        request_bytes = encode_message(self.ctx, message, trace=trace)
+        response_bytes = self._transport(request_bytes)
+        # Transport byte/round-trip metering happens BEFORE decoding: a
+        # malformed reply still crossed the wire, and its bytes must not
+        # vanish from the accounting when decode_message raises.
         self.counters.bytes_sent += len(request_bytes)
         self.counters.bytes_received += len(response_bytes)
         self.counters.payload_sent += message.payload_bytes()
-        self.counters.payload_received += response.payload_bytes()
         self.counters.round_trips += 1
         if self.network is not None:
             self.counters.simulated_seconds += self.network.round_trip_seconds(
                 len(request_bytes), len(response_bytes))
+        if obs.enabled:
+            from repro.obs import instruments as ins
+            ins.RPC_BYTES.inc(len(request_bytes), direction="sent")
+            ins.RPC_BYTES.inc(len(response_bytes), direction="received")
+        response = decode_message(self.ctx, response_bytes)
+        self.counters.payload_received += response.payload_bytes()
         return response
 
 

@@ -26,6 +26,16 @@ each id, so a retransmission -- a transport-level retry after a timeout,
 or a journalled client resend after a lost Ack -- is answered from that
 cache instead of being applied twice.  ``request_id = 0`` opts out (the
 message is then only protected by the tree-version check).
+
+Any message may additionally carry an optional **trace-context trailer**
+after its body (see ``docs/OBSERVABILITY.md``): a one-byte magic
+``0x54`` ('T'), a 16-byte trace id, an 8-byte span id, and a one-byte
+flags field, W3C Trace Context sized.  The trailer is pure telemetry:
+:func:`encode_message` appends it only when a trace context is passed
+(observability enabled), :func:`decode_message` detaches it before the
+body's trailing-bytes check, and the canonical (trace-free) encoding is
+what WAL records and replay digests are computed over, so tracing never
+changes protocol semantics.
 """
 
 from __future__ import annotations
@@ -44,6 +54,11 @@ E_UNKNOWN_ITEM = 2
 E_DUPLICATE_MODULATOR = 3
 E_STALE_STATE = 4
 E_BAD_REQUEST = 5
+
+#: First byte of the optional trace-context trailer ('T').
+TRACE_MAGIC = 0x54
+#: Trailer length: magic + 16-byte trace id + 8-byte span id + flags.
+TRACE_TRAILER_LEN = 1 + 16 + 8 + 1
 
 
 def _write_path(w: Writer, view: PathView) -> None:
@@ -135,10 +150,22 @@ def register(cls: Type[Message]) -> Type[Message]:
     return cls
 
 
-def encode_message(ctx: WireContext, message: Message) -> bytes:
+def encode_message(ctx: WireContext, message: Message,
+                   trace: "TraceContext | None" = None) -> bytes:
+    """Encode ``message``; with ``trace``, append the telemetry trailer.
+
+    The trace-free encoding is canonical: WAL records and replay digests
+    use it, so the same logical message always hashes identically no
+    matter which (or whether a) trace context carried it.
+    """
     w = Writer(ctx)
     w.u8(message.TYPE)
     message.encode_body(w)
+    if trace is not None:
+        w.u8(TRACE_MAGIC)
+        w.raw(trace.trace_id)
+        w.raw(trace.span_id)
+        w.u8(trace.flags)
     return w.getvalue()
 
 
@@ -149,8 +176,24 @@ def decode_message(ctx: WireContext, data: bytes) -> Message:
     if cls is None:
         raise ProtocolError(f"unknown message type {type_tag}")
     message = cls.decode_body(r)
+    if r.remaining() == TRACE_TRAILER_LEN and r.peek_u8() == TRACE_MAGIC:
+        from repro.obs.trace import TraceContext
+        r.u8()
+        attach_trace(message, TraceContext(trace_id=r.raw(16),
+                                           span_id=r.raw(8),
+                                           flags=r.u8()))
     r.expect_end()
     return message
+
+
+def attach_trace(message: Message, trace: "TraceContext") -> None:
+    """Pin a decoded trace context to a (frozen) message instance."""
+    object.__setattr__(message, "_trace_context", trace)
+
+
+def get_trace(message: Message) -> "TraceContext | None":
+    """The trace context a message arrived with, if any."""
+    return getattr(message, "_trace_context", None)
 
 
 @register

@@ -36,6 +36,8 @@ import time
 from dataclasses import dataclass
 
 from repro.core.errors import ProtocolError
+from repro.obs import runtime as obs
+from repro.obs.trace import log_event
 from repro.protocol.channel import Channel
 from repro.protocol.faults import ChannelError
 from repro.protocol.wire import WireContext
@@ -105,6 +107,19 @@ def recv_frame(sock: socket.socket) -> bytes:
 
 
 class _Handler(socketserver.BaseRequestHandler):
+    def setup(self) -> None:
+        super().setup()
+        if obs.enabled:
+            from repro.obs import instruments as ins
+            ins.TCP_CONNECTIONS.inc()
+            ins.TCP_INFLIGHT.inc()
+
+    def finish(self) -> None:
+        if obs.enabled:
+            from repro.obs import instruments as ins
+            ins.TCP_INFLIGHT.dec()
+        super().finish()
+
     def handle(self) -> None:
         backend = self.server.backend  # type: ignore[attr-defined]
         while True:
@@ -256,6 +271,11 @@ class TcpChannel(Channel):
                 if attempt:
                     time.sleep(self.retry.delay_before(attempt))
                     self.counters.retransmits += 1
+                    if obs.enabled:
+                        from repro.obs import instruments as ins
+                        ins.RPC_RETRANSMITS.inc()
+                        log_event("rpc.retransmit", attempt=attempt,
+                                  error=repr(last_error))
                 try:
                     sock = self._sock if self._sock is not None \
                         else self._connect()

@@ -53,6 +53,11 @@ class Writer:
         self._parts.append(bytes(data))
         return self
 
+    def raw(self, data: bytes) -> "Writer":
+        """Unframed bytes (caller-defined fixed-width fields)."""
+        self._parts.append(bytes(data))
+        return self
+
     def modulator(self, value: bytes) -> "Writer":
         """A raw modulator of the deployment's fixed width."""
         if len(value) != self.ctx.modulator_width:
@@ -139,6 +144,20 @@ class Reader:
 
     def text(self) -> str:
         return self.blob().decode("utf-8")
+
+    def raw(self, count: int) -> bytes:
+        """Unframed bytes (caller-defined fixed-width fields)."""
+        return self._take(count)
+
+    def remaining(self) -> int:
+        """Bytes left to decode."""
+        return len(self._data) - self._pos
+
+    def peek_u8(self) -> int:
+        """Next byte without consuming it (raises at end of data)."""
+        if self._pos >= len(self._data):
+            raise ProtocolError("message truncated")
+        return self._data[self._pos]
 
     def expect_end(self) -> None:
         if self._pos != len(self._data):

@@ -39,6 +39,8 @@ from repro.core.errors import ProtocolError, UnknownItemError
 from repro.core.modstore import DenseModulatorStore
 from repro.core.params import Params
 from repro.core.tree import ModulationTree
+from repro.obs import runtime as obs
+from repro.obs.trace import span
 from repro.protocol import messages as msg
 from repro.protocol.wire import Reader, WireContext, Writer
 from repro.server.server import CloudServer
@@ -50,6 +52,17 @@ _FORMAT_VERSION = 2
 
 def save_server(server: CloudServer, path: str) -> None:
     """Write the server's complete state to ``path`` (atomic replace)."""
+    if obs.enabled:
+        with span("server.save_image", image=path) as sp:
+            size = _save_server(server, path)
+            sp.annotate(image_bytes=size)
+            from repro.obs import instruments as ins
+            ins.CHECKPOINT_IMAGE_BYTES.set(size)
+    else:
+        _save_server(server, path)
+
+
+def _save_server(server: CloudServer, path: str) -> int:
     ctx = server.ctx
     w = Writer(ctx)
     w._parts.append(_MAGIC)  # noqa: SLF001 - header precedes framed fields
@@ -97,15 +110,24 @@ def save_server(server: CloudServer, path: str) -> None:
         w.blob(msg.encode_message(ctx, reply))
 
     tmp = path + ".tmp"
+    image = w.getvalue()
     with open(tmp, "wb") as handle:
-        handle.write(w.getvalue())
+        handle.write(image)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    return len(image)
 
 
 def load_server(path: str, params: Params | None = None) -> CloudServer:
     """Reconstruct a server from a state image written by :func:`save_server`."""
+    if obs.enabled:
+        with span("server.load_image", image=path):
+            return _load_server(path, params)
+    return _load_server(path, params)
+
+
+def _load_server(path: str, params: Params | None = None) -> CloudServer:
     params = params if params is not None else Params()
     with open(path, "rb") as handle:
         data = handle.read()

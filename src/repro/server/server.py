@@ -24,6 +24,8 @@ from typing import Optional, Sequence
 from repro.core.errors import ReproError, SimulatedCrash, UnknownItemError
 from repro.core.params import Params
 from repro.core.tree import LINK, ModulationTree, WriteLog
+from repro.obs import runtime as obs
+from repro.obs.trace import log_event, span, trace_scope
 from repro.protocol import messages as msg
 from repro.protocol.wire import WireContext
 from repro.server.storage import CiphertextStore, InMemoryCiphertextStore
@@ -124,14 +126,48 @@ class CloudServer:
     # ------------------------------------------------------------------
 
     def handle_bytes(self, data: bytes) -> bytes:
-        """Decode a request, dispatch it, and encode the reply."""
+        """Decode a request, dispatch it, and encode the reply.
+
+        A trace context arriving in the request's telemetry trailer is
+        adopted for the duration of the dispatch, so server-side spans
+        (handler, WAL append, fsync) and events (replay-cache hits)
+        carry the client's ``trace_id``.
+        """
         request = msg.decode_message(self.ctx, data)
-        reply = self.handle(request)
+        if obs.enabled:
+            with trace_scope(msg.get_trace(request)):
+                reply = self.handle(request)
+        else:
+            reply = self.handle(request)
         return msg.encode_message(self.ctx, reply)
 
     def handle(self, request: msg.Message) -> msg.Message:
         """Dispatch one decoded request to its handler."""
+        if obs.enabled:
+            return self._handle_observed(request)
         return self._dispatch(request)
+
+    def _handle_observed(self, request: msg.Message) -> msg.Message:
+        import time as _time
+
+        from repro.obs import instruments as ins
+        mtype = type(request).__name__
+        ins.SERVER_REQUESTS.inc(type=mtype)
+        with span("server.handle", type=mtype) as sp:
+            start = _time.perf_counter()
+            reply = self._dispatch(request)
+            ins.SERVER_HANDLE_SECONDS.observe(
+                _time.perf_counter() - start, type=mtype)
+            if isinstance(reply, msg.ErrorReply):
+                ins.SERVER_ERRORS.inc(type=mtype, code=str(reply.code))
+                sp.annotate(error_code=reply.code)
+            file_id = getattr(request, "file_id", None)
+            if file_id is not None:
+                state = self._files.get(file_id)
+                if state is not None:
+                    ins.TREE_VERSION.set(state.version,
+                                         file_id=str(file_id))
+            return reply
 
     def _dispatch(self, request: msg.Message) -> msg.Message:
         handlers = {
@@ -156,6 +192,14 @@ class CloudServer:
         request_id = getattr(request, "request_id", 0) if mutating else 0
         if request_id:
             cached = self._applied.get(request_id)
+            if obs.enabled:
+                from repro.obs import instruments as ins
+                ins.REPLAY_LOOKUPS.inc(cache="request_id")
+                if cached is not None:
+                    ins.REPLAY_HITS.inc(cache="request_id")
+                    log_event("server.replay_cache_hit",
+                              cache="request_id", request_id=request_id,
+                              type=type(request).__name__)
             if cached is not None:
                 return cached  # retransmission: answer, do not re-apply
         try:
@@ -257,7 +301,15 @@ class CloudServer:
         if state.replay_cache is None:
             return None
         digest, ack = state.replay_cache
+        if obs.enabled:
+            from repro.obs import instruments as ins
+            ins.REPLAY_LOOKUPS.inc(cache="commit_digest")
         if digest == self._replay_digest(request):
+            if obs.enabled:
+                from repro.obs import instruments as ins
+                ins.REPLAY_HITS.inc(cache="commit_digest")
+                log_event("server.replay_cache_hit", cache="commit_digest",
+                          type=type(request).__name__)
             return ack
         return None
 

@@ -34,9 +34,12 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 
 from repro.core.errors import ProtocolError
+from repro.obs import runtime as obs
+from repro.obs.trace import log_event, span
 
 _MAGIC = b"RWAL"
 _FORMAT_VERSION = 1
@@ -115,6 +118,11 @@ class CommitLog:
             pos += _RECORD.size + length
             good_end = pos
         if good_end < len(data):
+            if obs.enabled:
+                from repro.obs import instruments as ins
+                ins.WAL_TRUNCATED.inc()
+                log_event("wal.truncated_tail", path=self.path,
+                          discarded_bytes=len(data) - good_end)
             with open(self.path, "r+b") as handle:
                 handle.truncate(good_end)
                 handle.flush()
@@ -127,12 +135,25 @@ class CommitLog:
 
     def append(self, payload: bytes) -> None:
         """Durably append one record (fsync'd before returning)."""
+        if obs.enabled:
+            with span("wal.append", record_bytes=len(payload)):
+                self._write_record(payload)
+        else:
+            self._write_record(payload)
+        self.appended += 1
+
+    def _write_record(self, payload: bytes) -> None:
         self._handle.write(_RECORD.pack(len(payload),
                                         zlib.crc32(payload) & 0xFFFFFFFF))
         self._handle.write(payload)
         self._handle.flush()
+        start = time.perf_counter()
         os.fsync(self._handle.fileno())
-        self.appended += 1
+        if obs.enabled:
+            from repro.obs import instruments as ins
+            ins.WAL_FSYNC_SECONDS.observe(time.perf_counter() - start)
+            ins.WAL_APPENDS.inc()
+            ins.WAL_APPEND_BYTES.inc(len(payload))
 
     def reset(self) -> None:
         """Empty the log (call only after checkpointing its effects)."""
@@ -166,9 +187,19 @@ def checkpoint(server, image_path: str) -> None:
     which :func:`recover_server` resolves to the same state.
     """
     from repro.server.persistence import save_server
-    save_server(server, image_path)
-    if server.wal is not None:
-        server.wal.reset()
+    if not obs.enabled:
+        save_server(server, image_path)
+        if server.wal is not None:
+            server.wal.reset()
+        return
+    from repro.obs import instruments as ins
+    with span("server.checkpoint", image=image_path):
+        start = time.perf_counter()
+        save_server(server, image_path)
+        if server.wal is not None:
+            server.wal.reset()
+        ins.CHECKPOINT_SECONDS.observe(time.perf_counter() - start)
+        ins.CHECKPOINTS.inc()
 
 
 def recover_server(image_path: str, wal_path: str, params=None):
@@ -182,12 +213,21 @@ def recover_server(image_path: str, wal_path: str, params=None):
     from repro.server.persistence import load_server
     from repro.server.server import CloudServer
 
-    if os.path.exists(image_path):
-        server = load_server(image_path, params)
-    else:
-        server = CloudServer(params)
-    log = CommitLog(wal_path)
-    for record in log.records():
-        server.handle_bytes(record)
-    server.attach_wal(log)
+    with span("server.recover", image=image_path, wal=wal_path):
+        if os.path.exists(image_path):
+            server = load_server(image_path, params)
+        else:
+            server = CloudServer(params)
+        log = CommitLog(wal_path)
+        replayed = 0
+        with span("server.recover.replay"):
+            for record in log.records():
+                server.handle_bytes(record)
+                replayed += 1
+        if obs.enabled:
+            from repro.obs import instruments as ins
+            ins.WAL_REPLAYED.inc(replayed)
+            ins.RECOVERIES.inc()
+            log_event("server.recovered", replayed_records=replayed)
+        server.attach_wal(log)
     return server

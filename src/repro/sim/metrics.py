@@ -19,6 +19,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.obs import runtime as _obs
+
 
 @dataclass
 class OpRecord:
@@ -40,8 +42,15 @@ class OpRecord:
 
     @property
     def overhead_bytes(self) -> int:
-        """Protocol bytes excluding item payload (the paper's metric)."""
-        return self.total_bytes - self.payload_sent - self.payload_received
+        """Protocol bytes excluding item payload (the paper's metric).
+
+        Clamped at zero: a record whose payload fields exceed its byte
+        totals (hand-built, or totals lost to a transport error) reports
+        no overhead rather than a negative byte count.
+        """
+        return max(0,
+                   self.total_bytes - self.payload_sent
+                   - self.payload_received)
 
 
 @dataclass
@@ -52,6 +61,8 @@ class MetricsCollector:
 
     def add(self, record: OpRecord) -> None:
         self.records.append(record)
+        if _obs.enabled:
+            _obs.record_op(record)
 
     def for_op(self, op: str) -> list[OpRecord]:
         return [r for r in self.records if r.op == op]
@@ -79,15 +90,25 @@ class MetricsCollector:
 
 
 class Stopwatch:
-    """Accumulating perf_counter stopwatch for client-side segments."""
+    """Accumulating perf_counter stopwatch for client-side segments.
+
+    Re-entrant: nested ``measure()`` blocks count their shared wall time
+    once (only the outermost block accumulates), so instrumenting a
+    helper that is also called from an already-measured section does not
+    double-bill the overlap.
+    """
 
     def __init__(self) -> None:
         self.seconds = 0.0
+        self._depth = 0
 
     @contextmanager
     def measure(self) -> Iterator[None]:
+        self._depth += 1
         start = time.perf_counter()
         try:
             yield
         finally:
-            self.seconds += time.perf_counter() - start
+            self._depth -= 1
+            if self._depth == 0:
+                self.seconds += time.perf_counter() - start

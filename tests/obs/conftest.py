@@ -1,0 +1,15 @@
+"""Observability tests share process-global state; clean it per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.REGISTRY.reset()
+    yield
+    obs.disable()
+    obs.REGISTRY.reset()

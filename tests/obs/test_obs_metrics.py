@@ -1,0 +1,121 @@
+"""The metrics core: counters, gauges, histograms, rendering."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               render_prometheus)
+
+
+def test_counter_accumulates_per_label():
+    c = Counter("x_total", "help", labelnames=("op",))
+    c.inc(op="delete")
+    c.inc(2, op="delete")
+    c.inc(op="access")
+    assert c.value(op="delete") == 3
+    assert c.value(op="access") == 1
+    assert c.value(op="never") == 0
+    assert c.total() == 4
+
+
+def test_counter_rejects_negative():
+    c = Counter("x_total", "")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_counter_rejects_wrong_labels():
+    c = Counter("x_total", "", labelnames=("op",))
+    with pytest.raises(ValueError):
+        c.inc(1)  # missing label
+    with pytest.raises(ValueError):
+        c.inc(1, op="a", extra="b")
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("g", "")
+    g.set(5)
+    g.inc()
+    g.dec(2)
+    assert g.value() == 4
+
+
+def test_histogram_buckets_cumulative():
+    h = Histogram("h", "", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    assert h.count() == 5
+    assert h.sum() == pytest.approx(56.05)
+    lines = list(h.samples())
+    assert 'h_bucket{le="0.1"} 1' in lines
+    assert 'h_bucket{le="1"} 3' in lines
+    assert 'h_bucket{le="10"} 4' in lines
+    assert 'h_bucket{le="+Inf"} 5' in lines
+    assert "h_count 5" in lines
+
+
+def test_histogram_boundary_lands_in_its_bucket():
+    # Prometheus buckets are le (<=): an exact bound counts inside it.
+    h = Histogram("h", "", buckets=(1.0, 2.0))
+    h.observe(1.0)
+    assert 'h_bucket{le="1"} 1' in list(h.samples())
+
+
+def test_registry_get_or_create_shares_instrument():
+    reg = MetricsRegistry()
+    a = reg.counter("c_total", "first", labelnames=("op",))
+    b = reg.counter("c_total", "ignored", labelnames=("op",))
+    assert a is b
+    with pytest.raises(ValueError):
+        reg.gauge("c_total")  # kind mismatch
+    with pytest.raises(ValueError):
+        reg.counter("c_total", labelnames=("other",))  # label mismatch
+
+
+def test_registry_render_and_reset():
+    reg = MetricsRegistry()
+    reg.counter("a_total", "things done", labelnames=("op",)).inc(op="x")
+    reg.histogram("b_seconds", "latency", buckets=(1.0,)).observe(0.5)
+    text = render_prometheus(reg)
+    assert "# HELP a_total things done" in text
+    assert "# TYPE a_total counter" in text
+    assert 'a_total{op="x"} 1' in text
+    assert "# TYPE b_seconds histogram" in text
+    assert 'b_seconds_bucket{le="+Inf"} 1' in text
+    reg.reset()
+    after = render_prometheus(reg)
+    assert 'a_total{op="x"}' not in after   # series zeroed
+    assert "# TYPE a_total counter" in after  # instrument still registered
+
+
+def test_label_escaping():
+    c = Counter("c_total", "", labelnames=("path",))
+    c.inc(path='we"ird\\name\nx')
+    (line,) = list(c.samples())
+    assert line == 'c_total{path="we\\"ird\\\\name\\nx"} 1'
+
+
+def test_inf_renders_as_prometheus_inf():
+    g = Gauge("g", "")
+    g.set(math.inf)
+    assert list(g.samples()) == ["g +Inf"]
+
+
+def test_concurrent_increments_do_not_lose_updates():
+    c = Counter("c_total", "")
+    h = Histogram("h", "", buckets=(1.0,))
+
+    def work():
+        for _ in range(1000):
+            c.inc()
+            h.observe(0.5)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value() == 8000
+    assert h.count() == 8000

@@ -1,0 +1,133 @@
+"""Spans, trace propagation, and the JSON log sink."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import (NULL_SPAN, TraceContext, current, log_event,
+                             span, trace_scope)
+
+
+def enabled_log():
+    buf = io.StringIO()
+    obs.enable(log_stream=buf)
+    return buf
+
+
+def records(buf):
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+def test_trace_context_validates_sizes():
+    with pytest.raises(ValueError):
+        TraceContext(trace_id=b"short", span_id=b"x" * 8)
+    with pytest.raises(ValueError):
+        TraceContext(trace_id=b"x" * 16, span_id=b"short")
+    tc = TraceContext(trace_id=b"\x01" * 16, span_id=b"\x02" * 8)
+    assert tc.trace_id_hex == "01" * 16
+    assert tc.span_id_hex == "02" * 8
+
+
+def test_span_disabled_is_shared_null_object():
+    assert obs.is_enabled() is False
+    assert span("anything") is NULL_SPAN
+    with span("anything") as sp:
+        sp.annotate(ignored=1)
+        assert current() is None
+
+
+def test_span_emits_record_with_ids_and_duration():
+    buf = enabled_log()
+    with span("unit.op", kind="test"):
+        pass
+    (rec,) = records(buf)
+    assert rec["event"] == "span"
+    assert rec["name"] == "unit.op"
+    assert rec["kind"] == "test"
+    assert len(rec["trace_id"]) == 32
+    assert len(rec["span_id"]) == 16
+    assert "parent_span_id" not in rec
+    assert rec["duration_ms"] >= 0.0
+    assert rec["status"] == "ok"
+
+
+def test_nested_spans_share_trace_and_link_parent():
+    buf = enabled_log()
+    with span("outer"):
+        with span("inner"):
+            pass
+    inner, outer = records(buf)  # inner closes (and logs) first
+    assert inner["name"] == "inner"
+    assert inner["trace_id"] == outer["trace_id"]
+    assert inner["parent_span_id"] == outer["span_id"]
+    assert "parent_span_id" not in outer
+
+
+def test_span_error_status_and_context_restore():
+    buf = enabled_log()
+    with pytest.raises(RuntimeError):
+        with span("boom"):
+            raise RuntimeError("exploded")
+    (rec,) = records(buf)
+    assert rec["status"] == "error"
+    assert "RuntimeError: exploded" in rec["error"]
+    assert current() is None  # context restored despite the exception
+
+
+def test_trace_scope_adopts_remote_context():
+    buf = enabled_log()
+    remote = TraceContext(trace_id=b"\xaa" * 16, span_id=b"\xbb" * 8)
+    with trace_scope(remote):
+        assert current() is remote
+        with span("server.side"):
+            pass
+    assert current() is None
+    (rec,) = records(buf)
+    assert rec["trace_id"] == "aa" * 16
+    assert rec["parent_span_id"] == "bb" * 8
+
+
+def test_trace_scope_none_is_transparent():
+    enabled_log()
+    with trace_scope(None):
+        assert current() is None
+
+
+def test_log_event_carries_current_trace():
+    buf = enabled_log()
+    log_event("standalone", n=1)
+    with span("op"):
+        log_event("inside", n=2)
+    standalone, inside, _sp = records(buf)
+    assert "trace_id" not in standalone
+    assert inside["trace_id"] == _sp["trace_id"]
+    assert inside["span_id"] == _sp["span_id"]
+
+
+def test_spans_are_thread_local():
+    enabled_log()
+    seen = {}
+
+    def worker(name):
+        with span(name) as sp:
+            seen[name] = sp.context.trace_id
+
+    threads = [threading.Thread(target=worker, args=(f"t{i}",))
+               for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(set(seen.values())) == 4  # independent root traces
+
+
+def test_disable_detaches_sink():
+    buf = enabled_log()
+    obs.disable()
+    with span("after"):
+        pass
+    log_event("after-event")
+    assert buf.getvalue() == ""

@@ -1,0 +1,70 @@
+"""The optional trace trailer on the wire: encode, decode, compat."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.obs.trace import TraceContext
+from repro.protocol import messages as msg
+from repro.protocol.wire import WireContext
+
+CTX = WireContext(modulator_width=16)
+TC = TraceContext(trace_id=bytes(range(16)), span_id=bytes(range(8)))
+
+
+def test_untraced_roundtrip_is_byte_identical_to_before():
+    message = msg.Ack(tree_version=7, item_id=3)
+    data = msg.encode_message(CTX, message)
+    decoded = msg.decode_message(CTX, data)
+    assert decoded == message
+    assert msg.get_trace(decoded) is None
+
+
+def test_traced_roundtrip_carries_the_context():
+    message = msg.AccessRequest(file_id=1, item_id=9)
+    plain = msg.encode_message(CTX, message)
+    traced = msg.encode_message(CTX, message, trace=TC)
+    assert len(traced) == len(plain) + msg.TRACE_TRAILER_LEN
+    assert traced[:len(plain)] == plain  # trailer strictly appended
+
+    decoded = msg.decode_message(CTX, traced)
+    assert decoded == message  # trailer invisible to message equality
+    got = msg.get_trace(decoded)
+    assert got == TC
+
+
+def test_trailer_survives_every_message_type_with_defaults():
+    for cls in (msg.Ack, msg.ErrorReply, msg.AccessRequest,
+                msg.DeleteRequest, msg.DeleteFileRequest,
+                msg.FetchFileRequest):
+        message = cls()
+        data = msg.encode_message(CTX, message, trace=TC)
+        decoded = msg.decode_message(CTX, data)
+        assert decoded == message, cls.__name__
+        assert msg.get_trace(decoded) == TC, cls.__name__
+
+
+def test_canonical_reencode_strips_the_trailer():
+    # WAL records and replay digests re-encode without a trace argument,
+    # so tracing can never change what is logged or digested.
+    message = msg.DeleteFileRequest(file_id=5, request_id=77)
+    traced = msg.encode_message(CTX, message, trace=TC)
+    decoded = msg.decode_message(CTX, traced)
+    assert msg.encode_message(CTX, decoded) == msg.encode_message(CTX, message)
+
+
+def test_trailing_garbage_still_rejected():
+    message = msg.Ack()
+    data = msg.encode_message(CTX, message)
+    # Junk that is neither absent nor a well-formed trailer must fail
+    # exactly as it did before the trailer existed.
+    with pytest.raises(ProtocolError):
+        msg.decode_message(CTX, data + b"\x00" * 5)
+    # Right length, wrong magic: not a trailer.
+    with pytest.raises(ProtocolError):
+        msg.decode_message(CTX, data + b"\x00" * msg.TRACE_TRAILER_LEN)
+
+
+def test_attach_trace_bypasses_frozen_dataclass():
+    message = msg.Ack()
+    msg.attach_trace(message, TC)
+    assert msg.get_trace(message) == TC

@@ -55,3 +55,49 @@ def test_stopwatch_accumulates():
     with watch.measure():
         sum(range(1000))
     assert watch.seconds > first
+
+
+def test_overhead_never_negative():
+    # Hand-built record whose payload fields exceed the byte totals must
+    # clamp to zero, not report negative overhead.
+    r = OpRecord(op="weird", bytes_sent=10, bytes_received=10,
+                 payload_sent=50, payload_received=50)
+    assert r.overhead_bytes == 0
+
+
+def test_mean_overhead_zero_records_raises():
+    collector = MetricsCollector()
+    with pytest.raises(ValueError, match="nope"):
+        collector.mean_overhead_bytes("nope")
+    # Records for *other* ops do not change that.
+    collector.add(record("delete"))
+    with pytest.raises(ValueError):
+        collector.mean_overhead_bytes("nope")
+
+
+def test_stopwatch_reentrant_counts_wall_time_once():
+    import time
+
+    watch = Stopwatch()
+    with watch.measure():
+        with watch.measure():   # nested: must not double-bill
+            time.sleep(0.02)
+    assert 0.015 < watch.seconds < 0.2
+
+    # Sequential measures still accumulate.
+    before = watch.seconds
+    with watch.measure():
+        time.sleep(0.01)
+    assert watch.seconds > before
+
+
+def test_stopwatch_depth_recovers_after_exception():
+    watch = Stopwatch()
+    with pytest.raises(RuntimeError):
+        with watch.measure():
+            raise RuntimeError("boom")
+    first = watch.seconds
+    assert first >= 0.0
+    with watch.measure():
+        sum(range(1000))
+    assert watch.seconds > first
