@@ -9,7 +9,6 @@ from repro.analysis.ablation import (run_hash_ablation, run_store_ablation,
                                      run_two_level_sweep)
 from repro.analysis.harness import build_seeded_file
 from repro.core.params import SHA256_PARAMS
-from repro.crypto.rng import DeterministicRandom
 
 
 @pytest.fixture(scope="module")

@@ -8,8 +8,8 @@ whole-file key-derivation pass that constitutes the overhead.
 import pytest
 
 from benchmarks.conftest import save_result
-from repro.analysis.table3 import exact_comm_ratio, run_table3
 from repro.analysis.harness import build_dense_file
+from repro.analysis.table3 import exact_comm_ratio, run_table3
 from repro.protocol import messages as msg
 
 

@@ -23,6 +23,8 @@ Commands::
     repro-vault serve --port 9000           # expose the vault over TCP
     repro-vault serve --port 9000 --durable # crash-safe: WAL + checkpoints
     repro-vault serve --metrics-port 9100   # + Prometheus /metrics over HTTP
+    repro-vault serve --max-conns 64        # bound concurrent connections
+    repro-vault stress --seed ci-42         # seeded concurrency stress run
     repro-vault probe <host> <port>         # health-check a served vault
     repro-vault metrics <host> <port>       # scrape a served vault's metrics
     repro-vault trace <name> <position>     # traced read: JSON spans on stdout
@@ -218,7 +220,8 @@ def cmd_serve(vault: Vault, args) -> int:
         server = recover_server(image, wal_path)
         _print(f"durable state: {image} + {wal_path}")
 
-    with TcpServerHost(server, port=args.port) as host:
+    with TcpServerHost(server, port=args.port,
+                       max_conns=args.max_conns) as host:
         _print(f"serving vault on {host.address[0]}:{host.address[1]} "
                f"(ctrl-C to stop)")
         try:
@@ -231,6 +234,28 @@ def cmd_serve(vault: Vault, args) -> int:
                 checkpoint(server, image)
             if metrics_server is not None:
                 metrics_server.stop()
+    return 0
+
+
+def cmd_stress(_vault: Vault, args) -> int:
+    """Run one seeded concurrency stress iteration and report it.
+
+    Exits 0 when every invariant holds, 1 on a violation (the exception
+    names the invariant and the offending file/item).  The run is an
+    exact function of ``--seed``, so a failing CI seed replays locally.
+    """
+    from repro.sim.stress import StressConfig, run_stress
+
+    config = StressConfig(seed=args.seed, workers=args.workers,
+                          ops_per_worker=args.ops, readers=args.readers,
+                          transport=args.transport)
+    try:
+        report = run_stress(config)
+    except AssertionError as exc:
+        print(f"stress run failed (seed {args.seed!r}): {exc}",
+              file=sys.stderr)
+        return 1
+    _print(json.dumps(report.summary(), indent=2 if args.verbose else None))
     return 0
 
 
@@ -351,7 +376,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-port", type=int, default=None,
                        help="also expose Prometheus metrics over HTTP on "
                             "this port (0 = ephemeral)")
+    serve.add_argument("--max-conns", type=int, default=None,
+                       help="bound concurrently served TCP connections "
+                            "(excess dials queue in the listen backlog)")
     serve.set_defaults(func=cmd_serve)
+    stress = sub.add_parser(
+        "stress", help="run one seeded concurrency stress iteration")
+    stress.add_argument("--seed", default="cli")
+    stress.add_argument("--workers", type=int, default=4)
+    stress.add_argument("--ops", type=int, default=16,
+                        help="operations per worker thread")
+    stress.add_argument("--readers", type=int, default=1,
+                        help="keyless foreign-reader threads")
+    stress.add_argument("--transport", choices=("loopback", "tcp"),
+                        default="loopback")
+    stress.add_argument("-v", "--verbose", action="store_true",
+                        help="pretty-print the report")
+    stress.set_defaults(func=cmd_stress)
     probe = sub.add_parser("probe")
     probe.add_argument("host")
     probe.add_argument("port", type=int)
@@ -381,7 +422,7 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    except (KeyError, IndexError) as exc:
+    except (KeyError, IndexError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

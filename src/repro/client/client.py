@@ -30,8 +30,6 @@ import time
 from typing import Optional, Sequence
 
 from repro.client.keystore import KeyStore
-from repro.obs import runtime as obs
-from repro.obs.trace import span
 from repro.core import ops
 from repro.core.ciphertext import ItemCodec
 from repro.core.errors import (DuplicateModulatorError, IntegrityError,
@@ -40,10 +38,12 @@ from repro.core.errors import (DuplicateModulatorError, IntegrityError,
 from repro.core.modulated_chain import ChainEngine
 from repro.core.params import Params
 from repro.core.tree import ModulationTree
+from repro.crypto.rng import RandomSource, SystemRandom
+from repro.obs import runtime as obs
+from repro.obs.trace import span
 from repro.protocol import messages as msg
 from repro.protocol.channel import Channel
 from repro.sim.metrics import MetricsCollector, OpRecord
-from repro.crypto.rng import RandomSource, SystemRandom
 
 
 def _traced(op: str):

@@ -17,11 +17,11 @@ from repro.core.errors import (DuplicateModulatorError, IntegrityError,
                                KeyShreddedError, ProtocolError, ReproError,
                                StaleStateError, StructureError,
                                UnknownItemError)
+from repro.core.modstore import (DenseModulatorStore, LazySeededStore,
+                                 ModulatorStore)
 from repro.core.modulated_chain import (ChainEngine, releaf_modulator,
                                         rewrite_delta, rewrite_modulator,
                                         xor_bytes)
-from repro.core.modstore import (DenseModulatorStore, LazySeededStore,
-                                 ModulatorStore)
 from repro.core.params import PAPER_PARAMS, SHA256_PARAMS, Params
 from repro.core.tree import (BalanceView, CutEntry, MTView, ModulationTree,
                              PathView)

@@ -83,6 +83,13 @@ class MetaKeyManager:
     def managed_file_ids(self) -> list[int]:
         return sorted(self._meta_item_of_file)
 
+    def meta_item_of(self, file_id: int) -> int:
+        """The meta-tree item currently holding ``file_id``'s master key."""
+        meta_item = self._meta_item_of_file.get(file_id)
+        if meta_item is None:
+            raise UnknownItemError(f"file {file_id} is not registered")
+        return meta_item
+
     def register(self, file_id: int, master_key: bytes) -> None:
         """Outsource a new file's master key into the meta tree."""
         if file_id in self._meta_item_of_file:

@@ -210,7 +210,13 @@ class OutsourcedFileSystem:
                  params: Params | None = None,
                  rng: RandomSource | None = None,
                  metrics: MetricsCollector | None = None,
-                 group_of: Callable[[str], str] = directory_group) -> None:
+                 group_of: Callable[[str], str] = directory_group,
+                 meta_id_base: int = 1,
+                 file_id_base: int | None = None) -> None:
+        """``meta_id_base``/``file_id_base`` partition the server's file-id
+        space between tenants: several OutsourcedFileSystems sharing one
+        server (the concurrency stress harness, a multi-client deployment)
+        pass disjoint bases so their meta and data trees never collide."""
         self.params = params if params is not None else Params()
         if channel is None:
             self.server: Optional[CloudServer] = CloudServer(self.params)
@@ -225,8 +231,13 @@ class OutsourcedFileSystem:
         self._group_of = group_of
         self._groups: dict[str, MetaKeyManager] = {}
         self._files: dict[str, FileRecord] = {}
-        self._next_meta_id = 1
-        self._next_file_id = self._DATA_FILE_BASE
+        if file_id_base is None:
+            file_id_base = self._DATA_FILE_BASE
+        if not 1 <= meta_id_base < file_id_base:
+            raise ReproError("meta_id_base must be >= 1 and below "
+                             "file_id_base")
+        self._next_meta_id = meta_id_base
+        self._next_file_id = file_id_base
 
     @classmethod
     def connect(cls, address: tuple[str, int],
@@ -264,6 +275,12 @@ class OutsourcedFileSystem:
             manager.initialize()
             self._groups[group] = manager
         return manager
+
+    def group_manager_of(self, name: str) -> MetaKeyManager:
+        """The meta-key manager holding ``name``'s master key."""
+        record = self._files.get(name)
+        group = record.group if record is not None else self._group_of(name)
+        return self._group_manager(group)
 
     def control_key_count(self) -> int:
         """How many keys the client actually stores (Section V's point)."""

@@ -77,6 +77,19 @@ TREE_VERSION = REGISTRY.gauge(
     ("file_id",))
 
 # ---------------------------------------------------------------------
+# Concurrency control (registry / per-file reader-writer locks)
+# ---------------------------------------------------------------------
+
+LOCK_WAIT_SECONDS = REGISTRY.histogram(
+    "repro_server_lock_wait_seconds",
+    "Time spent waiting to acquire a server lock, by scope and mode",
+    ("scope", "mode"), LATENCY_BUCKETS)
+INFLIGHT_REQUESTS = REGISTRY.gauge(
+    "repro_server_inflight_requests",
+    "Requests currently holding (or waiting on) a per-file lock",
+    ("file_id",))
+
+# ---------------------------------------------------------------------
 # Durability: WAL, checkpoints, recovery
 # ---------------------------------------------------------------------
 

@@ -109,12 +109,14 @@ def recv_frame(sock: socket.socket) -> bytes:
 class _Handler(socketserver.BaseRequestHandler):
     def setup(self) -> None:
         super().setup()
+        self.server.track_handler(self.request)  # type: ignore[attr-defined]
         if obs.enabled:
             from repro.obs import instruments as ins
             ins.TCP_CONNECTIONS.inc()
             ins.TCP_INFLIGHT.inc()
 
     def finish(self) -> None:
+        self.server.untrack_handler(self.request)  # type: ignore[attr-defined]
         if obs.enabled:
             from repro.obs import instruments as ins
             ins.TCP_INFLIGHT.dec()
@@ -151,7 +153,53 @@ class _Handler(socketserver.BaseRequestHandler):
 
 class _ThreadedServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
+    # Handler threads are daemonic so a crashed process still exits, but
+    # TcpServerHost.stop() joins them itself (with a deadline) instead of
+    # the unbounded join block_on_close would do in server_close().
     daemon_threads = True
+    block_on_close = False
+
+    def __init__(self, server_address, handler_class,
+                 max_conns: int | None = None) -> None:
+        super().__init__(server_address, handler_class)
+        #: Bounds concurrently served connections: the accept loop blocks
+        #: on a slot before dispatching a handler thread (backpressure --
+        #: excess clients queue in the listen backlog).
+        self.conn_slots = (threading.BoundedSemaphore(max_conns)
+                           if max_conns else None)
+        self._handlers_mutex = threading.Lock()
+        #: Live handler threads and their client sockets, so shutdown can
+        #: join them and unblock the ones parked in recv.
+        self._handler_threads: dict[threading.Thread, socket.socket] = {}
+
+    # -- connection bookkeeping (called from _Handler.setup/finish) -----
+
+    def track_handler(self, sock: socket.socket) -> None:
+        with self._handlers_mutex:
+            self._handler_threads[threading.current_thread()] = sock
+
+    def untrack_handler(self, _sock: socket.socket) -> None:
+        with self._handlers_mutex:
+            self._handler_threads.pop(threading.current_thread(), None)
+
+    def live_handlers(self) -> list[tuple[threading.Thread, socket.socket]]:
+        with self._handlers_mutex:
+            return [(t, s) for t, s in self._handler_threads.items()
+                    if t.is_alive()]
+
+    # -- concurrency bound ----------------------------------------------
+
+    def process_request(self, request, client_address) -> None:
+        if self.conn_slots is not None:
+            self.conn_slots.acquire()
+        super().process_request(request, client_address)
+
+    def process_request_thread(self, request, client_address) -> None:
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            if self.conn_slots is not None:
+                self.conn_slots.release()
 
 
 class TcpServerHost:
@@ -165,19 +213,36 @@ class TcpServerHost:
     A stopped host can be started again: ``start`` after ``stop``
     recreates the server socket (rebinding the same address) and a fresh
     acceptor thread.
+
+    ``max_conns`` bounds the number of concurrently served connections;
+    further clients wait in the listen backlog until a slot frees up.
+
+    ``stop()`` shuts down in an orderly, bounded way: the accept loop is
+    stopped, idle connections are nudged closed (read-half shutdown, so a
+    reply in flight still goes out), and outstanding handler threads are
+    *joined* up to ``grace`` seconds -- a handler mid-request (e.g. inside
+    a WAL fsync) finishes its work instead of being killed mid-write.
+    Only handlers still alive after the grace period are abandoned (their
+    sockets force-closed) so a wedged backend cannot hang shutdown
+    forever.
     """
 
-    def __init__(self, backend, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, backend, host: str = "127.0.0.1", port: int = 0,
+                 max_conns: int | None = None) -> None:
         if not hasattr(backend, "handle_bytes"):
             raise TypeError("backend must expose handle_bytes")
+        if max_conns is not None and max_conns < 1:
+            raise ValueError("max_conns must be >= 1")
         self.backend = backend
+        self.max_conns = max_conns
         self._bind_address = (host, port)
         self._server: _ThreadedServer | None = self._make_server()
         self._thread: threading.Thread | None = None
         self._started = False
 
     def _make_server(self) -> _ThreadedServer:
-        server = _ThreadedServer(self._bind_address, _Handler)
+        server = _ThreadedServer(self._bind_address, _Handler,
+                                 max_conns=self.max_conns)
         server.backend = self.backend  # type: ignore[attr-defined]
         # Remember the kernel-assigned port so a restart rebinds it.
         self._bind_address = server.server_address
@@ -202,16 +267,52 @@ class TcpServerHost:
             self._started = True
         return self
 
-    def stop(self) -> None:
-        if self._started:
-            assert self._server is not None
-            self._server.shutdown()
-            self._server.server_close()
-            self._server = None
-            if self._thread is not None:
-                self._thread.join(timeout=5.0)
-                self._thread = None
-            self._started = False
+    def stop(self, grace: float = 5.0) -> None:
+        """Stop accepting, drain handlers (bounded by ``grace`` seconds)."""
+        if not self._started:
+            return
+        assert self._server is not None
+        server = self._server
+        server.shutdown()  # stop the accept loop
+
+        # Nudge every open connection: closing the read half makes a
+        # handler parked in recv_frame() return immediately, while a
+        # handler mid-request can still send its reply and the backend
+        # work it started (WAL append + fsync) completes untouched.
+        for _thread, sock in server.live_handlers():
+            try:
+                sock.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+
+        deadline = time.monotonic() + max(0.0, grace)
+        abandoned = 0
+        for thread, sock in server.live_handlers():
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                # Out of grace: force the socket closed and give the
+                # thread one last brief chance before abandoning it
+                # (it is daemonic and can no longer reach a live socket).
+                abandoned += 1
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                thread.join(timeout=0.1)
+        if abandoned:
+            logger.warning("tcp host stop: abandoned %d handler thread(s) "
+                           "still running after %.1fs grace", abandoned, grace)
+
+        server.server_close()
+        self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._started = False
 
     def __enter__(self) -> "TcpServerHost":
         return self.start()

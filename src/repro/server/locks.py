@@ -1,0 +1,151 @@
+"""Server-side locking: per-file reader-writer locks plus a registry lock.
+
+The paper's server is passive, but a deployed one is hit by many tenants
+at once (the TCP host dispatches one thread per connection).  Correctness
+under that concurrency is layered as a strict lock hierarchy::
+
+    registry lock  ->  per-file lock  ->  WAL lock
+
+* the **registry lock** guards the file table itself: outsourcing and
+  whole-file deletion take it exclusively, every per-file operation takes
+  it shared (so a file cannot vanish mid-request);
+* the **per-file lock** serialises mutations of one modulation tree
+  (commits take it exclusively) while letting any number of readers
+  (access/fetch/challenge requests) proceed in parallel;
+* the **WAL lock** (inside :class:`~repro.server.wal.CommitLog`) makes
+  each fsync'd record append atomic, so records from different vaults
+  never interleave mid-record.
+
+Locks are always acquired left-to-right in the hierarchy and never in
+reverse, which makes deadlock impossible by construction.
+
+:class:`RWLock` is writer-preferring: once a writer is waiting, new
+readers queue behind it, so a commit cannot be starved by a stream of
+reads.  Both lock classes expose their wait times through the
+``repro_server_lock_wait_seconds`` histogram when observability is on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.obs import runtime as obs
+
+#: Label values for the wait-time histogram.
+MODE_SHARED = "shared"
+MODE_EXCLUSIVE = "exclusive"
+
+
+class RWLock:
+    """A writer-preferring reader-writer lock.
+
+    Any number of threads may hold the lock *shared*; exactly one may
+    hold it *exclusive*, with no concurrent readers.  A waiting writer
+    blocks new readers (writer preference), so mutations are never
+    starved under read-heavy load.  The lock is not reentrant.
+    """
+
+    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_shared(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_shared(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_exclusive(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_exclusive(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def shared(self, scope: str = "file"):
+        """Hold the lock shared for the duration of the ``with`` block."""
+        if obs.enabled:
+            start = time.perf_counter()
+            self.acquire_shared()
+            _observe_wait(scope, MODE_SHARED, time.perf_counter() - start)
+        else:
+            self.acquire_shared()
+        try:
+            yield
+        finally:
+            self.release_shared()
+
+    @contextmanager
+    def exclusive(self, scope: str = "file"):
+        """Hold the lock exclusive for the duration of the ``with`` block."""
+        if obs.enabled:
+            start = time.perf_counter()
+            self.acquire_exclusive()
+            _observe_wait(scope, MODE_EXCLUSIVE, time.perf_counter() - start)
+        else:
+            self.acquire_exclusive()
+        try:
+            yield
+        finally:
+            self.release_exclusive()
+
+
+def _observe_wait(scope: str, mode: str, seconds: float) -> None:
+    from repro.obs import instruments as ins
+    ins.LOCK_WAIT_SECONDS.observe(seconds, scope=scope, mode=mode)
+
+
+class FileLockTable:
+    """Lazily-created :class:`RWLock` per file id.
+
+    Lock objects are created on first use under an internal mutex and
+    dropped when the file is deleted.  A request racing a whole-file
+    deletion may briefly hold a lock object no longer in the table; that
+    is harmless because the file lookup it guards re-checks existence
+    under the registry lock.
+    """
+
+    __slots__ = ("_mutex", "_locks")
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._locks: dict[int, RWLock] = {}
+
+    def lock(self, file_id: int) -> RWLock:
+        """The lock for ``file_id``, created on first use."""
+        with self._mutex:
+            lock = self._locks.get(file_id)
+            if lock is None:
+                lock = RWLock()
+                self._locks[file_id] = lock
+            return lock
+
+    def discard(self, file_id: int) -> None:
+        """Forget the lock of a deleted file."""
+        with self._mutex:
+            self._locks.pop(file_id, None)
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._locks)

@@ -33,7 +33,6 @@ previous image intact.
 from __future__ import annotations
 
 import os
-import struct
 
 from repro.core.errors import ProtocolError, UnknownItemError
 from repro.core.modstore import DenseModulatorStore

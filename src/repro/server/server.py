@@ -17,7 +17,9 @@ server is modelled separately in :mod:`repro.server.adversary`.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -28,6 +30,7 @@ from repro.obs import runtime as obs
 from repro.obs.trace import log_event, span, trace_scope
 from repro.protocol import messages as msg
 from repro.protocol.wire import WireContext
+from repro.server.locks import FileLockTable, RWLock
 from repro.server.storage import CiphertextStore, InMemoryCiphertextStore
 
 #: Crash points a test can arm via :meth:`CloudServer.arm_crash`.
@@ -39,6 +42,10 @@ CRASH_POINT_AFTER_APPLY = "after-apply"
 MUTATING_REQUESTS = (msg.OutsourceRequest, msg.ModifyCommit,
                      msg.DeleteCommit, msg.BatchDeleteCommit,
                      msg.InsertCommit, msg.DeleteFileRequest)
+
+#: Requests that change the *file table* itself: they serialise against
+#: everything by taking the registry lock exclusively.
+REGISTRY_REQUESTS = (msg.OutsourceRequest, msg.DeleteFileRequest)
 
 
 @dataclass
@@ -83,6 +90,35 @@ class CloudServer:
         #: request_id -> reply produced when it was first applied.
         self._applied: OrderedDict[int, msg.Message] = OrderedDict()
         self._crash_point: Optional[str] = None
+        self._init_locks()
+
+    def _init_locks(self) -> None:
+        """(Re)create the concurrency-control state.
+
+        Separated from ``__init__`` because lock objects cannot be
+        pickled: checkpoint images and the CLI's vault snapshot drop them
+        and rebuild fresh (necessarily uncontended) locks on load.
+        """
+        #: Guards the file table: shared by per-file requests, exclusive
+        #: for outsourcing and whole-file deletion.
+        self._registry_lock = RWLock()
+        #: One reader-writer lock per file id, created on first touch.
+        self._file_locks = FileLockTable()
+        #: Guards the request-id idempotency cache.
+        self._applied_mutex = threading.Lock()
+
+    #: Attributes recreated by :meth:`_init_locks` instead of pickled.
+    _UNPICKLED = ("_registry_lock", "_file_locks", "_applied_mutex")
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for name in self._UNPICKLED:
+            state.pop(name, None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._init_locks()
 
     # ------------------------------------------------------------------
     # Durability plumbing
@@ -109,17 +145,20 @@ class CloudServer:
 
     def replay_cache_entries(self) -> list[tuple[int, msg.Message]]:
         """Idempotency cache in eviction order (persistence peer API)."""
-        return list(self._applied.items())
+        with self._applied_mutex:
+            return list(self._applied.items())
 
     def restore_replay_cache(self,
                              entries: Sequence[tuple[int, msg.Message]]) -> None:
         """Reinstall a persisted idempotency cache (recovery path)."""
-        self._applied = OrderedDict(entries)
+        with self._applied_mutex:
+            self._applied = OrderedDict(entries)
 
     def _remember_applied(self, request_id: int, reply: msg.Message) -> None:
-        self._applied[request_id] = reply
-        while len(self._applied) > self.REPLAY_CACHE_LIMIT:
-            self._applied.popitem(last=False)
+        with self._applied_mutex:
+            self._applied[request_id] = reply
+            while len(self._applied) > self.REPLAY_CACHE_LIMIT:
+                self._applied.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Transport entry points
@@ -191,7 +230,8 @@ class CloudServer:
         mutating = isinstance(request, MUTATING_REQUESTS)
         request_id = getattr(request, "request_id", 0) if mutating else 0
         if request_id:
-            cached = self._applied.get(request_id)
+            with self._applied_mutex:
+                cached = self._applied.get(request_id)
             if obs.enabled:
                 from repro.obs import instruments as ins
                 ins.REPLAY_LOOKUPS.inc(cache="request_id")
@@ -203,15 +243,19 @@ class CloudServer:
             if cached is not None:
                 return cached  # retransmission: answer, do not re-apply
         try:
-            if mutating:
-                if self.wal is not None:
-                    # Durable before applied: the encode is deterministic,
-                    # so the log holds exactly the bytes the wire carried.
-                    self.wal.append(msg.encode_message(self.ctx, request))
-                self._fire_crash(CRASH_POINT_BEFORE_APPLY)
-            reply = handler(request)
-            if mutating:
-                self._fire_crash(CRASH_POINT_AFTER_APPLY)
+            with self._lock_scope(request, mutating):
+                if mutating:
+                    if self.wal is not None:
+                        # Durable before applied: the encode is
+                        # deterministic, so the log holds exactly the
+                        # bytes the wire carried.  Appending under the
+                        # per-file lock keeps WAL order identical to
+                        # apply order for each file.
+                        self.wal.append(msg.encode_message(self.ctx, request))
+                    self._fire_crash(CRASH_POINT_BEFORE_APPLY)
+                reply = handler(request)
+                if mutating:
+                    self._fire_crash(CRASH_POINT_AFTER_APPLY)
         except SimulatedCrash:
             raise
         except UnknownItemError as exc:
@@ -221,6 +265,52 @@ class CloudServer:
         if request_id:
             self._remember_applied(request_id, reply)
         return reply
+
+    # ------------------------------------------------------------------
+    # Concurrency control
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _lock_scope(self, request: msg.Message, mutating: bool):
+        """Hold the locks one request needs, per the documented hierarchy.
+
+        Registry-changing requests (outsource, whole-file delete) take
+        the registry lock exclusively and therefore run alone.  Every
+        other per-file request takes the registry lock shared plus its
+        file's lock -- shared for pure reads (access, fetch, delete/
+        insert/batch challenges), exclusive for commits -- so reads of
+        one vault run in parallel while its mutations serialise.  See
+        ``docs/CONCURRENCY.md``.
+        """
+        if isinstance(request, REGISTRY_REQUESTS):
+            with self._registry_lock.exclusive(scope="registry"):
+                yield
+            return
+        file_id = getattr(request, "file_id", None)
+        if file_id is None:
+            yield
+            return
+        file_lock = self._file_locks.lock(file_id)
+        with self._registry_lock.shared(scope="registry"):
+            if not obs.enabled:
+                if mutating:
+                    with file_lock.exclusive():
+                        yield
+                else:
+                    with file_lock.shared():
+                        yield
+                return
+            from repro.obs import instruments as ins
+            ins.INFLIGHT_REQUESTS.inc(file_id=str(file_id))
+            try:
+                if mutating:
+                    with file_lock.exclusive():
+                        yield
+                else:
+                    with file_lock.shared():
+                        yield
+            finally:
+                ins.INFLIGHT_REQUESTS.dec(file_id=str(file_id))
 
     # ------------------------------------------------------------------
     # File adoption (used directly by benchmarks with lazy stores)
@@ -255,6 +345,10 @@ class CloudServer:
 
     def has_file(self, file_id: int) -> bool:
         return file_id in self._files
+
+    def file_ids(self) -> list[int]:
+        """Ids of every file currently stored (sorted)."""
+        return sorted(self._files)
 
     # ------------------------------------------------------------------
     # Registry helpers
@@ -610,4 +704,7 @@ class CloudServer:
 
     def _on_delete_file(self, request: msg.DeleteFileRequest) -> msg.Message:
         self._files.pop(request.file_id, None)
+        # Runs under the exclusive registry lock, so nobody holds (or can
+        # be acquiring) this file's lock while it is dropped.
+        self._file_locks.discard(request.file_id)
         return msg.Ack()

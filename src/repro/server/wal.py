@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import time
 import zlib
 
@@ -66,6 +67,10 @@ class CommitLog:
         #: Records appended since the last checkpoint/open, for callers
         #: implementing a checkpoint-every-N policy.
         self.appended = 0
+        #: Serialises the write+fsync of one record: appends arriving
+        #: from different per-file handler threads land whole, never
+        #: interleaved mid-record (the bottom of the lock hierarchy).
+        self._lock = threading.Lock()
 
     def _scan(self) -> list[bytes]:
         """Validate the on-disk log, truncating a torn tail record."""
@@ -134,21 +139,26 @@ class CommitLog:
         return list(self._records)
 
     def append(self, payload: bytes) -> None:
-        """Durably append one record (fsync'd before returning)."""
+        """Durably append one record (fsync'd before returning).
+
+        Thread-safe: concurrent appenders serialise on the log's lock,
+        so each CRC-framed record (and its fsync) lands whole on disk.
+        """
         if obs.enabled:
             with span("wal.append", record_bytes=len(payload)):
                 self._write_record(payload)
         else:
             self._write_record(payload)
-        self.appended += 1
 
     def _write_record(self, payload: bytes) -> None:
-        self._handle.write(_RECORD.pack(len(payload),
-                                        zlib.crc32(payload) & 0xFFFFFFFF))
-        self._handle.write(payload)
-        self._handle.flush()
-        start = time.perf_counter()
-        os.fsync(self._handle.fileno())
+        with self._lock:
+            self._handle.write(_RECORD.pack(len(payload),
+                                            zlib.crc32(payload) & 0xFFFFFFFF))
+            self._handle.write(payload)
+            self._handle.flush()
+            start = time.perf_counter()
+            os.fsync(self._handle.fileno())
+            self.appended += 1
         if obs.enabled:
             from repro.obs import instruments as ins
             ins.WAL_FSYNC_SECONDS.observe(time.perf_counter() - start)
@@ -157,14 +167,15 @@ class CommitLog:
 
     def reset(self) -> None:
         """Empty the log (call only after checkpointing its effects)."""
-        self._handle.close()
-        with open(self.path, "wb") as handle:
-            handle.write(_HEADER)
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._handle = open(self.path, "ab")
-        self._records = []
-        self.appended = 0
+        with self._lock:
+            self._handle.close()
+            with open(self.path, "wb") as handle:
+                handle.write(_HEADER)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle = open(self.path, "ab")
+            self._records = []
+            self.appended = 0
 
     def close(self) -> None:
         try:

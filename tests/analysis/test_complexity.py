@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.analysis.complexity import (PAPER_CLAIMS, classify_growth,
                                        measure_scaling)

@@ -9,7 +9,6 @@ import pytest
 
 from repro.client.client import AssuredDeletionClient
 from repro.core.errors import (IntegrityError, ReproError, UnknownItemError)
-from repro.core.scheme import LocalScheme
 from repro.core.tree import ModulationTree
 from repro.crypto.rng import DeterministicRandom
 from repro.protocol import messages as msg

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.client.client import AssuredDeletionClient
-from repro.core.errors import (IntegrityError, KeyShreddedError,
-                               UnknownItemError)
+from repro.core.errors import IntegrityError, UnknownItemError
 from repro.crypto.rng import DeterministicRandom
 from repro.protocol import messages as msg
 from repro.protocol.channel import LoopbackChannel

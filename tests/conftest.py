@@ -1,11 +1,40 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.core.params import Params
 from repro.crypto.rng import DeterministicRandom
+
+#: Multiplier applied to every property test's example budget via
+#: :func:`scaled_examples`.  The nightly workflow sets it to 10.
+HYPOTHESIS_SCALE = int(os.environ.get("REPRO_HYPOTHESIS_SCALE", "1"))
+
+
+def scaled_examples(base: int) -> int:
+    """A property test's example budget, scaled for deeper runs."""
+    return base * HYPOTHESIS_SCALE
+
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # 'ci' is the everyday budget; 'nightly' (selected in the scheduled
+    # workflow via --hypothesis-profile=nightly, combined with
+    # REPRO_HYPOTHESIS_SCALE=10 for the per-test budgets above) drops the
+    # per-example deadline and slow-input health check so the scaled
+    # budgets can run to completion.
+    settings.register_profile("ci", settings(deadline=None))
+    settings.register_profile(
+        "nightly",
+        settings(max_examples=scaled_examples(100), deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow]))
+    settings.load_profile("ci")
+except ImportError:  # hypothesis is optional outside the property suites
+    pass
 
 
 @pytest.fixture

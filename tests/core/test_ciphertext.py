@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.ciphertext import ItemCodec
 from repro.core.errors import IntegrityError
-from repro.core.params import Params, SHA256_PARAMS
+from repro.core.params import SHA256_PARAMS
 
 
 @pytest.fixture

@@ -5,7 +5,6 @@ import pytest
 from repro.core.modulated_chain import (ChainEngine, releaf_modulator,
                                         rewrite_delta, rewrite_modulator,
                                         xor_bytes)
-from repro.crypto.rng import DeterministicRandom
 from repro.crypto.sha256 import Sha256
 
 

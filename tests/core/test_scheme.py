@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.errors import KeyShreddedError, UnknownItemError
+from repro.core.errors import UnknownItemError
 from tests.conftest import make_scheme
 
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.crypto.bulk_hash import MIN_BATCH, sha1_many, xor_many
 from repro.crypto.prf import prf, prf_many
-from repro.crypto.rng import DeterministicRandom
 
 
 @pytest.mark.parametrize("count", [0, 1, 15, 16, 17, 100, 1000])

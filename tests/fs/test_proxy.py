@@ -4,7 +4,7 @@ import pytest
 
 from repro.crypto.rng import DeterministicRandom
 from repro.fs.filesystem import OutsourcedFileSystem
-from repro.fs.proxy import ALL_RIGHTS, DELETE, READ, WRITE, KeyProxy
+from repro.fs.proxy import ALL_RIGHTS, READ, WRITE, KeyProxy
 from repro.fs.proxy import PermissionError_
 
 

@@ -11,16 +11,15 @@ Two properties over random trees and random batches S:
 """
 
 import pytest
-
-hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.modulated_chain import ChainEngine
 from repro.core.errors import UnknownItemError
+from repro.core.modulated_chain import ChainEngine
 from repro.core.scheme import LocalScheme
 from repro.crypto.rng import DeterministicRandom
 from repro.sim.threat import Adversary, snapshot_file
+from tests.conftest import scaled_examples
 
 
 @st.composite
@@ -51,7 +50,7 @@ def surviving_keys(scheme, fid, ids, survivors):
 
 
 @given(batch=batches(), seed=st.integers(0, 2 ** 32))
-@settings(max_examples=25, deadline=None,
+@settings(max_examples=scaled_examples(25), deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 def test_batch_equivalent_to_sequential(batch, seed):
     n, positions = batch
@@ -77,7 +76,7 @@ def test_batch_equivalent_to_sequential(batch, seed):
 
 
 @given(batch=batches(), seed=st.integers(0, 2 ** 32))
-@settings(max_examples=25, deadline=None,
+@settings(max_examples=scaled_examples(25), deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 def test_batch_theorem2_unrecoverable(batch, seed):
     n, positions = batch

@@ -5,13 +5,14 @@ from hypothesis import strategies as st
 
 from repro.core.modulated_chain import (ChainEngine, releaf_modulator,
                                         rewrite_modulator, xor_bytes)
+from tests.conftest import scaled_examples
 
 modulators20 = st.binary(min_size=20, max_size=20)
 keys = st.binary(min_size=16, max_size=16)
 modulator_lists = st.lists(modulators20, min_size=1, max_size=12)
 
 
-@settings(max_examples=60)
+@settings(max_examples=scaled_examples(60))
 @given(keys, keys, modulator_lists, st.data())
 def test_lemma1_for_every_index(old_key, new_key, modulators, data):
     """For any list and any index i, the Eq. 3 rewrite preserves F."""
@@ -24,7 +25,7 @@ def test_lemma1_for_every_index(old_key, new_key, modulators, data):
         engine.evaluate(old_key, modulators)
 
 
-@settings(max_examples=60)
+@settings(max_examples=scaled_examples(60))
 @given(keys, keys, modulator_lists)
 def test_key_change_without_rewrite_breaks_chain(old_key, new_key, modulators):
     engine = ChainEngine()
@@ -34,7 +35,7 @@ def test_key_change_without_rewrite_breaks_chain(old_key, new_key, modulators):
         engine.evaluate(old_key, modulators)
 
 
-@settings(max_examples=60)
+@settings(max_examples=scaled_examples(60))
 @given(keys, modulator_lists)
 def test_prefix_values_are_consistent(key, modulators):
     engine = ChainEngine()
@@ -44,7 +45,7 @@ def test_prefix_values_are_consistent(key, modulators):
         assert prefixes[i] == engine.step(prefixes[i - 1], modulators[i - 1])
 
 
-@settings(max_examples=60)
+@settings(max_examples=scaled_examples(60))
 @given(modulators20, modulators20, modulators20)
 def test_releaf_identity(old_prefix, new_prefix, old_leaf):
     engine = ChainEngine()
@@ -53,7 +54,7 @@ def test_releaf_identity(old_prefix, new_prefix, old_leaf):
         engine.h(xor_bytes(old_prefix, old_leaf))
 
 
-@settings(max_examples=40)
+@settings(max_examples=scaled_examples(40))
 @given(keys, modulator_lists, modulators20)
 def test_extension_property(key, modulators, extra):
     """F(K, M + <x>) == H(F(K, M) xor x): the chain is truly recursive."""

@@ -13,6 +13,7 @@ from repro.crypto.modes import aes_cbc_decrypt, aes_cbc_encrypt, aes_ctr
 from repro.crypto.padding import pad, unpad
 from repro.crypto.sha1 import sha1
 from repro.crypto.sha256 import sha256
+from tests.conftest import scaled_examples
 
 keys128 = st.binary(min_size=16, max_size=16)
 keys_any = st.sampled_from([16, 24, 32]).flatmap(
@@ -51,7 +52,7 @@ def test_ctr_is_an_involution(key, nonce, data):
     assert aes_ctr(key, nonce, aes_ctr(key, nonce, data)) == data
 
 
-@settings(max_examples=30)
+@settings(max_examples=scaled_examples(30))
 @given(keys128, nonces, payloads)
 def test_bulk_ctr_matches_scalar(key, nonce, data):
     from repro.crypto.modes import aes_ctr_scalar

@@ -19,12 +19,13 @@ from repro.protocol.faults import (DROP_REQUEST, DROP_RESPONSE, DUPLICATE,
                                    NONE, ChannelError, FaultInjectingChannel)
 from repro.server.server import CloudServer
 from repro.sim.threat import Adversary, snapshot_file
+from tests.conftest import scaled_examples
 
 fault_kinds = st.sampled_from([NONE, NONE, NONE, DROP_REQUEST, DROP_RESPONSE,
                                DUPLICATE])
 
 
-@settings(max_examples=15, deadline=None,
+@settings(max_examples=scaled_examples(15), deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(schedule=st.lists(fault_kinds, max_size=12),
        seed=st.integers(0, 2 ** 16))

@@ -14,6 +14,7 @@ from hypothesis.stateful import (RuleBasedStateMachine, initialize,
 
 from repro.crypto.rng import DeterministicRandom
 from repro.fs.filesystem import OutsourcedFileSystem
+from tests.conftest import scaled_examples
 
 payloads = st.binary(min_size=1, max_size=24)
 groups = st.sampled_from(["hr", "mail"])
@@ -93,7 +94,7 @@ class FileSystemMachine(RuleBasedStateMachine):
 
 
 FileSystemMachine.TestCase.settings = settings(
-    max_examples=10, stateful_step_count=10, deadline=None,
+    max_examples=scaled_examples(10), stateful_step_count=10, deadline=None,
     suppress_health_check=[HealthCheck.too_slow])
 
 TestFileSystem = FileSystemMachine.TestCase

@@ -16,6 +16,7 @@ from repro.core.meta import MetaKeyManager
 from repro.crypto.rng import DeterministicRandom
 from repro.protocol.channel import LoopbackChannel
 from repro.server.server import CloudServer
+from tests.conftest import scaled_examples
 
 keys16 = st.binary(min_size=16, max_size=16)
 
@@ -72,7 +73,7 @@ class MetaKeyMachine(RuleBasedStateMachine):
 
 
 MetaKeyMachine.TestCase.settings = settings(
-    max_examples=10, stateful_step_count=10, deadline=None,
+    max_examples=scaled_examples(10), stateful_step_count=10, deadline=None,
     suppress_health_check=[HealthCheck.too_slow])
 
 TestMetaKeyManager = MetaKeyMachine.TestCase

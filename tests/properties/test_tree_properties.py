@@ -18,6 +18,7 @@ from hypothesis.stateful import (RuleBasedStateMachine, initialize,
 from repro.core.scheme import LocalScheme
 from repro.crypto.rng import DeterministicRandom
 from repro.sim.threat import Adversary, snapshot_file
+from tests.conftest import scaled_examples
 
 payloads = st.binary(max_size=40)
 
@@ -82,7 +83,7 @@ class AssuredDeletionMachine(RuleBasedStateMachine):
 
 
 AssuredDeletionMachine.TestCase.settings = settings(
-    max_examples=12, stateful_step_count=12, deadline=None,
+    max_examples=scaled_examples(12), stateful_step_count=12, deadline=None,
     suppress_health_check=[HealthCheck.too_slow])
 
 TestAssuredDeletion = AssuredDeletionMachine.TestCase

@@ -1,19 +1,19 @@
 """Fuzzing the wire codec: arbitrary values roundtrip; garbage never
 crashes with anything but ProtocolError."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.errors import ProtocolError, ReproError
+from repro.core.errors import ProtocolError
 from repro.protocol import messages as msg
 from repro.protocol.wire import Reader, WireContext, Writer
+from tests.conftest import scaled_examples
 
 CTX = WireContext(modulator_width=20)
 modulators = st.binary(min_size=20, max_size=20)
 
 
-@settings(max_examples=50,
+@settings(max_examples=scaled_examples(50),
           suppress_health_check=[HealthCheck.data_too_large,
                                  HealthCheck.too_slow])
 @given(st.lists(st.sampled_from(["u8", "u16", "u32", "u64", "blob", "mod",

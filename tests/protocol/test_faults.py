@@ -8,7 +8,7 @@ that versioned commits are never applied twice.
 import pytest
 
 from repro.client.client import AssuredDeletionClient
-from repro.core.errors import StaleStateError, UnknownItemError
+from repro.core.errors import UnknownItemError
 from repro.crypto.rng import DeterministicRandom
 from repro.protocol.faults import (CRASH_BEFORE_APPLY, DELAY, DROP_REQUEST,
                                    DROP_RESPONSE, DUPLICATE, NONE,

@@ -1,11 +1,11 @@
 """The TCP transport: the full protocol over a real socket."""
 
+import threading
 import time
 
 import pytest
 
 from repro.client.client import AssuredDeletionClient
-from repro.core.errors import ProtocolError
 from repro.crypto.rng import DeterministicRandom
 from repro.protocol import messages as msg
 from repro.protocol.faults import ChannelError
@@ -241,3 +241,137 @@ def test_retry_policy_validation_and_backoff():
     assert policy.delay_before(2) == pytest.approx(0.2)
     assert policy.delay_before(3) == pytest.approx(0.3)  # capped
     assert policy.delay_before(9) == pytest.approx(0.3)
+
+
+# ---------------------------------------------------------------------
+# Orderly shutdown: stop() joins in-flight handlers instead of relying
+# on daemon threads, bounded by a grace deadline.
+# ---------------------------------------------------------------------
+
+class _SlowBackend:
+    """Backend whose handling takes ``delay`` seconds (models a WAL
+    fsync in progress when the host is asked to stop)."""
+
+    def __init__(self, inner, delay):
+        self.inner = inner
+        self.ctx = inner.ctx
+        self.delay = delay
+        self.entered = threading.Event()
+        self.completed = 0
+
+    def handle_bytes(self, data):
+        self.entered.set()
+        time.sleep(self.delay)
+        response = self.inner.handle_bytes(data)
+        self.completed += 1
+        return response
+
+
+def test_stop_joins_inflight_handler_work():
+    """stop() must let a request already inside the backend finish (and
+    its reply go out) rather than killing the thread mid-write."""
+    server = CloudServer()
+    backend = _SlowBackend(server, delay=0.5)
+    host = TcpServerHost(backend).start()
+    results = {}
+
+    def worker():
+        with TcpChannel(host.address, server.ctx,
+                        retry=RetryPolicy(attempts=1, timeout=15.0)) as ch:
+            results["reply"] = ch.request(msg.FetchFileRequest(file_id=1))
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    assert backend.entered.wait(5.0)
+    start = time.monotonic()
+    host.stop()
+    elapsed = time.monotonic() - start
+    # The in-flight backend work ran to completion before stop returned...
+    assert backend.completed == 1
+    assert elapsed < 6.0
+    # ...and the client still received the reply that was in flight.
+    thread.join(timeout=5.0)
+    assert isinstance(results.get("reply"), msg.ErrorReply)
+
+
+def test_stop_prompt_with_idle_connection():
+    """An idle persistent connection (handler parked in recv) must not
+    make stop() wait out the whole grace period."""
+    server = CloudServer()
+    host = TcpServerHost(server).start()
+    channel = TcpChannel(host.address, server.ctx)
+    channel.request(msg.FetchFileRequest(file_id=1))  # handler now idle
+    start = time.monotonic()
+    host.stop(grace=10.0)
+    assert time.monotonic() - start < 3.0
+    channel.close()
+
+
+def test_stop_abandons_wedged_handler_after_grace():
+    """A backend that never returns cannot hang shutdown forever: after
+    the grace deadline the handler is abandoned and stop() returns."""
+    server = CloudServer()
+    release = threading.Event()
+    entered = threading.Event()
+
+    class _Wedged:
+        ctx = server.ctx
+
+        def handle_bytes(self, data):
+            entered.set()
+            release.wait(30.0)
+            return server.handle_bytes(data)
+
+    host = TcpServerHost(_Wedged()).start()
+
+    def worker():
+        try:
+            with TcpChannel(host.address, server.ctx,
+                            retry=RetryPolicy(attempts=1,
+                                              timeout=30.0)) as ch:
+                ch.request(msg.FetchFileRequest(file_id=1))
+        except Exception:
+            pass  # the abandoned socket is force-closed under us
+
+    thread = threading.Thread(target=worker, daemon=True)
+    thread.start()
+    assert entered.wait(5.0)
+    start = time.monotonic()
+    host.stop(grace=0.3)
+    assert time.monotonic() - start < 5.0
+    release.set()
+    thread.join(timeout=5.0)
+
+
+def test_max_conns_bounds_concurrent_connections():
+    """With max_conns=1 a second connection is only served after the
+    first closes (backpressure via the listen backlog)."""
+    server = CloudServer()
+    with TcpServerHost(server, max_conns=1) as host:
+        first = TcpChannel(host.address, server.ctx)
+        first.request(msg.FetchFileRequest(file_id=1))  # holds the slot
+        done = threading.Event()
+        results = {}
+
+        def worker():
+            with TcpChannel(host.address, server.ctx,
+                            retry=RetryPolicy(attempts=1,
+                                              timeout=15.0)) as ch:
+                results["reply"] = ch.request(
+                    msg.FetchFileRequest(file_id=1))
+                done.set()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        # The second connection sits in the backlog while the first one
+        # occupies the only slot.
+        assert not done.wait(0.4)
+        first.close()
+        assert done.wait(10.0)
+        thread.join(timeout=5.0)
+        assert isinstance(results["reply"], msg.ErrorReply)
+
+
+def test_max_conns_validation():
+    with pytest.raises(ValueError):
+        TcpServerHost(CloudServer(), max_conns=0)

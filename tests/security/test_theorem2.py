@@ -8,7 +8,6 @@ has.  It must fail for deleted items, and -- the soundness controls --
 succeed for live items and for the broken baseline variants.
 """
 
-import pytest
 
 from repro.baselines.base import BlobStoreServer
 from repro.baselines.master_key import MasterKeySolution

@@ -1,7 +1,6 @@
 """Direct behaviour of the malicious-server variants (the security
 consequences are tested in tests/security)."""
 
-import pytest
 
 from repro.client.client import AssuredDeletionClient
 from repro.crypto.rng import DeterministicRandom

@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.client.client import AssuredDeletionClient
 from repro.core.errors import ProtocolError
 from repro.core.params import SHA256_PARAMS
-from repro.client.client import AssuredDeletionClient
 from repro.crypto.rng import DeterministicRandom
 from repro.protocol.channel import LoopbackChannel
 from repro.server.persistence import load_server, save_server

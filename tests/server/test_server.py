@@ -5,12 +5,9 @@ import pytest
 from repro.core.errors import ReproError
 from repro.core.modstore import DenseModulatorStore
 from repro.core.tree import ModulationTree
-from repro.crypto.rng import DeterministicRandom
 from repro.protocol import messages as msg
-from repro.protocol.channel import LoopbackChannel
 from repro.server.server import CloudServer
 from repro.server.storage import InMemoryCiphertextStore
-from tests.conftest import make_scheme
 
 
 def test_unsupported_message():

@@ -6,7 +6,6 @@ anything that is genuinely recoverable (otherwise the negative results
 would be vacuous).
 """
 
-from repro.crypto.rng import DeterministicRandom
 from repro.sim.threat import Adversary, snapshot_file
 from tests.conftest import make_scheme
 

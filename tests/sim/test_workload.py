@@ -3,8 +3,8 @@
 import pytest
 
 from repro.crypto.rng import DeterministicRandom
-from repro.sim.workload import (Operation, employee_roster, mail_messages,
-                                make_items, make_record_items, operation_mix)
+from repro.sim.workload import (employee_roster, mail_messages, make_items,
+                                make_record_items, operation_mix)
 
 
 def test_make_items_shape(rng):

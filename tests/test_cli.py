@@ -3,7 +3,6 @@
 import subprocess
 import sys
 
-import pytest
 
 
 def vault(tmp_path, *args, stdin=""):
@@ -68,3 +67,26 @@ def test_put_replaces_assuredly(tmp_path):
     vault(tmp_path, "put", "f", stdin="v1\n")
     vault(tmp_path, "put", "f", stdin="v2\n")
     assert vault(tmp_path, "cat", "f").stdout.strip() == "v2"
+
+
+def test_stress_subcommand(tmp_path):
+    import json
+
+    run = vault(tmp_path, "stress", "--seed", "cli-test", "--workers", "2",
+                "--ops", "6")
+    assert run.returncode == 0, run.stderr
+    report = json.loads(run.stdout)
+    assert report["seed"] == "cli-test"
+    assert report["invariants"] == [
+        "version-accounting", "surviving-data-decrypts",
+        "theorem2-deleted-unrecoverable", "wal-replay-reproduces-state"]
+
+    again = vault(tmp_path, "stress", "--seed", "cli-test", "--workers", "2",
+                  "--ops", "6")
+    assert json.loads(again.stdout)["ops"] == report["ops"]
+
+
+def test_serve_rejects_bad_max_conns(tmp_path):
+    vault(tmp_path, "init")
+    bad = vault(tmp_path, "serve", "--max-conns", "0")
+    assert bad.returncode != 0

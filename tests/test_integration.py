@@ -1,10 +1,8 @@
 """Cross-cutting integration tests: the full stack over real sockets,
 multiple clients, and custom deployment policies."""
 
-import pytest
 
 from repro.client.client import AssuredDeletionClient
-from repro.core.errors import StaleStateError
 from repro.crypto.rng import DeterministicRandom
 from repro.fs.filesystem import OutsourcedFileSystem
 from repro.protocol.tcp import TcpChannel, TcpServerHost
