@@ -6,16 +6,25 @@ kept out of the timed section), saves the rendered text under
 ``extra_info``, then times one representative client operation so
 ``pytest benchmarks/ --benchmark-only`` yields meaningful numbers.
 
+Each benchmark also saves a machine-readable JSON record next to its
+text artifact via :func:`save_json`; at session end every record found
+under ``results/`` is folded into the top-level ``BENCH_hotpath.json``
+so one committed file tracks the whole performance surface.
+
 Set ``REPRO_FULL_SCALE=1`` to run at the paper's exact scales.
 """
 
 from __future__ import annotations
 
+import glob
+import json
 import os
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+AGGREGATE_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                              "BENCH_hotpath.json")
 
 
 def save_result(name: str, text: str) -> str:
@@ -25,6 +34,40 @@ def save_result(name: str, text: str) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
     return path
+
+
+def save_json(name: str, record: dict) -> str:
+    """Persist a benchmark's machine-readable record and return its path.
+
+    Records follow a loose convention -- ``op`` (what was measured), and
+    where meaningful ``n`` (scale), ``seconds`` (wall time), ``hash_calls``
+    and ``bytes`` -- plus whatever extra series the benchmark produces.
+    Keys are sorted so reruns diff cleanly.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Aggregate every per-benchmark JSON record into BENCH_hotpath.json."""
+    records = {}
+    for path in sorted(glob.glob(os.path.join(RESULTS_DIR, "*.json"))):
+        name = os.path.splitext(os.path.basename(path))[0]
+        try:
+            with open(path, encoding="utf-8") as handle:
+                records[name] = json.load(handle)
+        except (OSError, ValueError):  # half-written record: skip, keep rest
+            continue
+    if not records:
+        return
+    with open(AGGREGATE_PATH, "w", encoding="utf-8") as handle:
+        json.dump({"schema": 1, "records": records}, handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -3,7 +3,7 @@ chain hash, store layout, and two-level key management."""
 
 import pytest
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import save_json, save_result
 from repro.analysis.ablation import (run_hash_ablation, run_store_ablation,
                                      run_two_level_ablation,
                                      run_two_level_sweep)
@@ -24,6 +24,15 @@ def ablation_tables():
     save_result("ablation_two_level", two_level_table)
     sweep_table, sweep_numbers = run_two_level_sweep()
     save_result("ablation_two_level_sweep", sweep_table)
+    save_json("ablations", {
+        "op": "ablation",
+        "hash": [{"delete_hashes": row.delete_hashes,
+                  "bytes": row.delete_comm_bytes} for row in hash_rows],
+        "store": dict(store_numbers),
+        "two_level": dict(two_level_numbers),
+        "two_level_sweep": {str(m): sweep_numbers[m]
+                            for m in sorted(sweep_numbers)},
+    })
     print("\n" + "\n\n".join([hash_table, store_table, two_level_table,
                               sweep_table]))
     return hash_rows, store_numbers, two_level_numbers, sweep_numbers

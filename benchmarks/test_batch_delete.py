@@ -19,7 +19,7 @@ on the sweep pattern; scattered gets softer floors.
 
 import pytest
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import save_json, save_result
 from repro.analysis.harness import build_seeded_file
 from repro.crypto.rng import DeterministicRandom
 from repro.sim.metrics import MetricsCollector
@@ -104,6 +104,18 @@ def batch_rows():
             f"{row['batch_bytes'] / row['k']:>7.0f}")
     table = "\n".join(lines)
     save_result("batch_delete", table)
+    save_json("batch_delete", {
+        "op": "delete_many",
+        "n": N_ITEMS,
+        "rows": [{"pattern": row["pattern"], "k": row["k"],
+                  "seconds": row["batch_seconds"],
+                  "seq_seconds": row["seq_seconds"],
+                  "bytes": row["batch_bytes"],
+                  "seq_bytes": row["seq_bytes"],
+                  "speedup": row["speedup"],
+                  "bytes_ratio": row["bytes_ratio"]}
+                 for row in rows],
+    })
     print("\n" + table)
     return {(row["pattern"], row["k"]): row for row in rows}
 

@@ -26,7 +26,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import save_json, save_result
 from repro.crypto.rng import DeterministicRandom
 from repro.fs.filesystem import OutsourcedFileSystem
 from repro.protocol import messages as msg
@@ -132,6 +132,13 @@ def throughput_curve() -> dict[int, float]:
                      f"{curve[workers] / base:>7.2f}x")
     table = "\n".join(lines)
     save_result("concurrent_throughput", table)
+    save_json("concurrent_throughput", {
+        "op": "read",
+        "seconds": MEASURE_SECONDS,
+        "reads_per_second": {str(workers): curve[workers]
+                             for workers in THREAD_COUNTS},
+        "scaling_at_8": curve[8] / curve[1],
+    })
     print("\n" + table)
     return curve
 

@@ -8,7 +8,7 @@ the deletion exchange at the top of the grid.
 
 import pytest
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import save_json, save_result
 from repro.analysis.config import figure_grid
 from repro.analysis.figures import log_growth_ratio, render_figure5, run_sweep
 from repro.analysis.harness import build_seeded_file
@@ -20,6 +20,11 @@ from repro.sim.workload import PAPER_ITEM_SIZE
 def sweep():
     result = run_sweep()
     save_result("fig5_comm_overhead", render_figure5(result))
+    save_json("fig5_comm_overhead", {
+        "op": "comm_overhead",
+        "bytes": {op: {str(n): series[n] for n in sorted(series)}
+                  for op, series in result.comm_bytes.items()},
+    })
     print("\n" + render_figure5(result))
     return result
 

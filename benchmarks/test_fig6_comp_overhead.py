@@ -13,7 +13,7 @@ exactly.  EXPERIMENTS.md discusses the normalisation.
 
 import pytest
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import save_json, save_result
 from repro.analysis.config import figure_grid
 from repro.analysis.figures import render_figure6, run_sweep
 from repro.core import ops
@@ -26,6 +26,13 @@ from repro.crypto.rng import DeterministicRandom
 def sweep():
     result = run_sweep()
     save_result("fig6_comp_overhead", render_figure6(result))
+    save_json("fig6_comp_overhead", {
+        "op": "comp_overhead",
+        "hash_calls": {op: {str(n): series[n] for n in sorted(series)}
+                       for op, series in result.hash_calls.items()},
+        "seconds": {op: {str(n): series[n] for n in sorted(series)}
+                    for op, series in result.comp_seconds.items()},
+    })
     print("\n" + render_figure6(result))
     return result
 

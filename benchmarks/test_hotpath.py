@@ -1,0 +1,175 @@
+"""Hot-path overhaul benchmark (ISSUE 5 acceptance numbers).
+
+Compares the pre-PR configuration (scalar per-item AES, no client chain
+cache, no server view cache) against the optimised stack on the two
+headline operations:
+
+* whole-file fetch at n = 1024 -- the client cache skips the 3n-2 chain
+  sweep and ``decrypt_many`` runs one bulk AES pass over all items;
+* warm single-item access -- path derivation and verification collapse
+  to one dict lookup plus the (mandatory) decrypt-verify.
+
+Acceptance: >= 3x on the fetch, >= 2x on warm access, and the two
+configurations must be *bit-identical* -- same stored ciphertexts, same
+plaintexts -- or the speedup is meaningless.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import save_json, save_result
+from repro.client.client import AssuredDeletionClient
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol.channel import LoopbackChannel
+from repro.server.server import CloudServer
+
+N_ITEMS = 1024
+ITEM_SIZE = 64
+ACCESS_ITEMS = 64
+ROUNDS = 3
+
+
+def make_items(n=N_ITEMS, size=ITEM_SIZE):
+    rng = DeterministicRandom("hotpath-items")
+    return [rng.bytes(size) for _ in range(n)]
+
+
+def build(optimised, items, seed="hotpath"):
+    """A (server, client, key) triple in one of the two configurations."""
+    server = CloudServer()
+    client = AssuredDeletionClient(LoopbackChannel(server),
+                                   rng=DeterministicRandom(seed),
+                                   cache=optimised)
+    if not optimised:
+        client.codec.use_bulk_aes = False
+        server.view_cache_enabled = False
+    key = client.outsource(1, items)
+    return server, client, key
+
+
+def best_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def hotpath():
+    items = make_items()
+    rows = {}
+    plaintexts = {}
+    for label in ("baseline", "optimised"):
+        optimised = label == "optimised"
+        _server, client, key = build(optimised, items)
+        ids = client.item_ids_of(len(items))
+
+        hashes0 = client.engine.hash_calls
+        fetch_seconds = best_of(lambda: client.fetch_file(1, key))
+        fetch_hashes = (client.engine.hash_calls - hashes0) // ROUNDS
+
+        hashes0 = client.engine.hash_calls
+
+        def access_sweep():
+            for item_id in ids[:ACCESS_ITEMS]:
+                client.access(1, key, item_id)
+
+        access_seconds = best_of(access_sweep)
+        access_hashes = (client.engine.hash_calls - hashes0) // ROUNDS
+
+        plaintexts[label] = client.fetch_file(1, key)
+        rows[label] = {
+            "fetch_seconds": fetch_seconds,
+            "fetch_hash_calls": fetch_hashes,
+            "access_seconds": access_seconds,
+            "access_hash_calls": access_hashes,
+        }
+
+    fetch_speedup = (rows["baseline"]["fetch_seconds"]
+                     / max(rows["optimised"]["fetch_seconds"], 1e-9))
+    access_speedup = (rows["baseline"]["access_seconds"]
+                      / max(rows["optimised"]["access_seconds"], 1e-9))
+    identical = plaintexts["baseline"] == plaintexts["optimised"]
+
+    text = "\n".join([
+        f"Hot-path overhaul at n = {N_ITEMS} x {ITEM_SIZE} B items "
+        f"(best of {ROUNDS})",
+        "",
+        f"{'config':<10} {'fetch ms':>9} {'hashes':>7} "
+        f"{'access ms':>10} {'hashes':>7}",
+        *(f"{label:<10} {row['fetch_seconds'] * 1e3:>9.1f} "
+          f"{row['fetch_hash_calls']:>7} "
+          f"{row['access_seconds'] * 1e3:>10.1f} "
+          f"{row['access_hash_calls']:>7}"
+          for label, row in rows.items()),
+        "",
+        f"whole-file fetch speedup: {fetch_speedup:.1f}x "
+        f"(acceptance >= 3x)",
+        f"warm access speedup ({ACCESS_ITEMS} items): "
+        f"{access_speedup:.1f}x (acceptance >= 2x)",
+        f"plaintexts bit-identical: {identical}",
+    ])
+    save_result("hotpath", text)
+    print("\n" + text)
+    save_json("hotpath", {
+        "op": "hotpath",
+        "n": N_ITEMS,
+        "item_bytes": ITEM_SIZE,
+        "rows": rows,
+        "fetch_speedup": fetch_speedup,
+        "access_speedup": access_speedup,
+        "bit_identical": identical,
+    })
+    return rows, fetch_speedup, access_speedup, identical
+
+
+def test_fetch_meets_acceptance(hotpath):
+    """ISSUE 5 acceptance: >= 3x whole-file fetch at n = 1024."""
+    _rows, fetch_speedup, _access, _identical = hotpath
+    assert fetch_speedup >= 3.0, hotpath
+
+
+def test_warm_access_meets_acceptance(hotpath):
+    """ISSUE 5 acceptance: >= 2x on warm single-item access."""
+    _rows, _fetch, access_speedup, _identical = hotpath
+    assert access_speedup >= 2.0, hotpath
+
+
+def test_configurations_are_bit_identical(hotpath):
+    """Speedups only count if both stacks agree bit-for-bit."""
+    _rows, _fetch, _access, identical = hotpath
+    assert identical
+    # Same randomness + same items => the stored ciphertexts must also
+    # be byte-identical between the scalar and bulk AES encrypt paths.
+    items = make_items(64, 128)
+    base_server, base_client, _ = build(False, items, seed="identity")
+    opt_server, opt_client, _ = build(True, items, seed="identity")
+    ids = base_client.item_ids_of(len(items))
+    for item_id in ids:
+        assert (base_server._state(1).ciphertexts.get(item_id)
+                == opt_server._state(1).ciphertexts.get(item_id))
+
+
+def test_cache_savings_are_structural(hotpath):
+    """The warm fetch does zero chain hashing; the baseline does the
+    full 3n-2 sweep every time.  Counts, not clocks."""
+    rows, _fetch, _access, _identical = hotpath
+    assert rows["optimised"]["fetch_hash_calls"] == 0
+    assert rows["baseline"]["fetch_hash_calls"] >= 3 * N_ITEMS - 2
+    assert rows["optimised"]["access_hash_calls"] == 0
+    assert rows["baseline"]["access_hash_calls"] > 0
+
+
+def test_quick_hotpath_smoke():
+    """CI smoke: small scale; the optimised stack must beat baseline."""
+    items = make_items(128, 64)
+    _s, base_client, base_key = build(False, items, seed="quick")
+    _s, opt_client, opt_key = build(True, items, seed="quick")
+    base = best_of(lambda: base_client.fetch_file(1, base_key), rounds=2)
+    opt = best_of(lambda: opt_client.fetch_file(1, opt_key), rounds=2)
+    assert opt_client.fetch_file(1, opt_key) == \
+        base_client.fetch_file(1, base_key)
+    assert opt < base, (base, opt)

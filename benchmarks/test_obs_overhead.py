@@ -15,7 +15,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import save_json, save_result
 from repro import obs
 from repro.crypto.rng import DeterministicRandom
 from repro.fs.filesystem import OutsourcedFileSystem
@@ -51,6 +51,13 @@ def test_disabled_observability_overhead_is_small():
     save_result("obs_overhead",
                 f"loopback delete x{ITEMS}: baseline {baseline * 1e3:.2f} ms, "
                 f"instrumented-off {off * 1e3:.2f} ms, ratio {ratio:.4f}")
+    save_json("obs_overhead", {
+        "op": "delete",
+        "n": ITEMS,
+        "seconds": off,
+        "baseline_seconds": baseline,
+        "ratio": ratio,
+    })
     # Both runs go through the instrumented code with obs disabled; they
     # differ only by noise, so a large ratio means a non-deterministic
     # fast path, not a real regression.  The 2% budget is tracked in the

@@ -8,7 +8,7 @@ largest grid point.
 
 import pytest
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import save_json, save_result
 from repro.analysis.complexity import PAPER_CLAIMS, run_table1
 from repro.baselines.base import BlobStoreServer
 from repro.baselines.individual_key import IndividualKeySolution
@@ -27,6 +27,10 @@ _ITEM = 64
 def table1():
     table, fits = run_table1()
     save_result("table1_complexity", table)
+    save_json("table1_complexity", {
+        "op": "complexity_fit",
+        "fits": {name: list(classes) for name, classes in fits.items()},
+    })
     print("\n" + table)
     return table, fits
 

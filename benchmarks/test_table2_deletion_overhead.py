@@ -8,7 +8,7 @@ single assured deletion of ours at the target scale.
 
 import pytest
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import save_json, save_result
 from repro.analysis.config import table2_item_count
 from repro.analysis.harness import build_seeded_file
 from repro.analysis.table2 import run_table2
@@ -19,6 +19,14 @@ from repro.sim.workload import PAPER_ITEM_SIZE
 def table2():
     table, rows = run_table2()
     save_result("table2_deletion_overhead", table)
+    save_json("table2_deletion_overhead", {
+        "op": "delete",
+        "n": table2_item_count(),
+        "rows": {name: {"storage_bytes": row.storage_bytes,
+                        "bytes": row.comm_bytes,
+                        "seconds": row.comp_seconds}
+                 for name, row in rows.items()},
+    })
     print("\n" + table)
     return rows
 

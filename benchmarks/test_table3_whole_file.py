@@ -7,7 +7,7 @@ whole-file key-derivation pass that constitutes the overhead.
 
 import pytest
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import save_json, save_result
 from repro.analysis.harness import build_dense_file
 from repro.analysis.table3 import exact_comm_ratio, run_table3
 from repro.protocol import messages as msg
@@ -17,6 +17,12 @@ from repro.protocol import messages as msg
 def table3():
     table, rows = run_table3()
     save_result("table3_whole_file", table)
+    save_json("table3_whole_file", {
+        "op": "whole_file_access",
+        "rows": [{"n": row.n_items, "comm_ratio": row.comm_ratio,
+                  "comp_ratio": row.comp_ratio, "measured": row.measured}
+                 for row in rows],
+    })
     print("\n" + table)
     return rows
 

@@ -248,7 +248,8 @@ def cmd_stress(_vault: Vault, args) -> int:
 
     config = StressConfig(seed=args.seed, workers=args.workers,
                           ops_per_worker=args.ops, readers=args.readers,
-                          transport=args.transport)
+                          transport=args.transport,
+                          toggle_caches=args.toggle_caches)
     try:
         report = run_stress(config)
     except AssertionError as exc:
@@ -390,6 +391,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="keyless foreign-reader threads")
     stress.add_argument("--transport", choices=("loopback", "tcp"),
                         default="loopback")
+    stress.add_argument("--toggle-caches", action="store_true",
+                        help="randomly flip the hot-path caches mid-run")
     stress.add_argument("-v", "--verbose", action="store_true",
                         help="pretty-print the report")
     stress.set_defaults(func=cmd_stress)

@@ -30,11 +30,22 @@ from repro.crypto.hmac import HashFactory
 from repro.crypto.sha1 import Sha1
 
 
+_from_bytes = int.from_bytes
+
+
 def xor_bytes(a: bytes, b: bytes) -> bytes:
-    """XOR two equal-length byte strings."""
+    """XOR two equal-length byte strings.
+
+    Hot in every scalar chain step (one XOR per hash application), so the
+    common case -- two 20-byte SHA-1-width operands -- skips the length
+    comparison and the dynamic width lookup; the bound ``int.from_bytes``
+    avoids a method-descriptor fetch per call.
+    """
+    if len(a) == 20 and len(b) == 20:
+        return (_from_bytes(a, "big") ^ _from_bytes(b, "big")).to_bytes(20, "big")
     if len(a) != len(b):
         raise ValueError(f"xor operands differ in length: {len(a)} vs {len(b)}")
-    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(len(a), "big")
+    return (_from_bytes(a, "big") ^ _from_bytes(b, "big")).to_bytes(len(a), "big")
 
 
 _BULK_MIN_BATCH: int | None = None

@@ -71,13 +71,20 @@ def aes_cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes, *,
     return unpad(plaintext, 16) if padded else plaintext
 
 
+#: Payloads at or below this many blocks run the scalar block loop: the
+#: vectorised engine's fixed per-call cost (~35 blocks' worth of scalar
+#: work) dominates below roughly half a kilobyte.
+_SMALL_CTR_BLOCKS = 16
+
+
 def aes_ctr(key: bytes, nonce: bytes, data: bytes, *,
             initial_counter: int = 0) -> bytes:
     """Encrypt or decrypt ``data`` with AES-CTR (the operation is symmetric).
 
     The counter block is ``nonce (8 bytes) || counter (8 bytes, big endian)``.
-    For payloads above one block this delegates to the vectorised engine in
-    :mod:`repro.crypto.bulk` when numpy is available; results are identical.
+    Large payloads delegate to the vectorised engine in
+    :mod:`repro.crypto.bulk`; small ones stay on the scalar block loop,
+    which beats the engine's per-call setup cost.  Results are identical.
     """
     if len(nonce) != 8:
         raise ValueError("CTR nonce must be 8 bytes")
@@ -86,14 +93,35 @@ def aes_ctr(key: bytes, nonce: bytes, data: bytes, *,
     if not data:
         return b""
 
-    if len(data) > 16:
-        # The bulk engine is exact and much faster for multi-block payloads.
+    block_count = (len(data) + 15) // 16
+    if block_count > _SMALL_CTR_BLOCKS:
         from repro.crypto.bulk import ctr_transform
         return ctr_transform(key, nonce, data, initial_counter=initial_counter)
 
-    cipher = AES(key)
-    keystream = cipher.encrypt_block(nonce + initial_counter.to_bytes(8, "big"))
-    return _xor_bytes(data, keystream[:len(data)])
+    encrypt_block = AES(key).encrypt_block
+    stream = b"".join(
+        encrypt_block(nonce + (initial_counter + i).to_bytes(8, "big"))
+        for i in range(block_count))
+    return _xor_bytes(data, stream[:len(data)])
+
+
+def aes_ctr_many(keys, nonces, datas, *, initial_counter: int = 0) -> list[bytes]:
+    """AES-CTR over many independent ``(key, nonce, data)`` triples.
+
+    Bit-identical to calling :func:`aes_ctr` per triple.  When every key
+    is 16 bytes (the deployment's data-key width) and the batch has at
+    least two items, the whole batch runs as *one* vectorised sweep in
+    :mod:`repro.crypto.bulk` -- key schedules included -- instead of one
+    engine invocation per item.
+    """
+    if not (len(keys) == len(nonces) == len(datas)):
+        raise ValueError("batch arguments must have equal lengths")
+    if len(keys) >= 2 and all(len(key) == 16 for key in keys):
+        from repro.crypto.bulk import ctr_transform_many
+        return ctr_transform_many(keys, nonces, datas,
+                                  initial_counter=initial_counter)
+    return [aes_ctr(key, nonce, data, initial_counter=initial_counter)
+            for key, nonce, data in zip(keys, nonces, datas)]
 
 
 def aes_ctr_scalar(key: bytes, nonce: bytes, data: bytes, *,

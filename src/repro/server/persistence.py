@@ -64,7 +64,7 @@ def save_server(server: CloudServer, path: str) -> None:
 def _save_server(server: CloudServer, path: str) -> int:
     ctx = server.ctx
     w = Writer(ctx)
-    w._parts.append(_MAGIC)  # noqa: SLF001 - header precedes framed fields
+    w.raw(_MAGIC)  # header precedes framed fields
     w.u16(_FORMAT_VERSION)
     w.u16(ctx.modulator_width)
 

@@ -82,6 +82,18 @@ class CloudServer:
     #: Bound on the idempotency cache (oldest replies evicted first).
     REPLAY_CACHE_LIMIT = 4096
 
+    #: Bound on each file's view/encode cache (cleared wholesale when hit;
+    #: entries are version-keyed, so a full cache means a read-heavy
+    #: steady state and the next requests simply rebuild).
+    VIEW_CACHE_LIMIT = 4096
+
+    #: Serve read replies (access/fetch/challenge views) from the per-file
+    #: view cache.  Replies are cached *after* assembly and invalidated
+    #: under the file's exclusive lock on every mutation, so a cached
+    #: reply is byte-identical to a rebuilt one; flip off to benchmark
+    #: the cold path.
+    view_cache_enabled = True
+
     def __init__(self, params: Params | None = None, wal=None) -> None:
         self.params = params if params is not None else Params()
         self.ctx = WireContext(modulator_width=self.params.modulator_size)
@@ -106,9 +118,16 @@ class CloudServer:
         self._file_locks = FileLockTable()
         #: Guards the request-id idempotency cache.
         self._applied_mutex = threading.Lock()
+        #: file id -> {key: reply} view/encode cache.  Populated by reads
+        #: under the file's shared lock, invalidated under its exclusive
+        #: lock, so per-file insertions and invalidations never race.
+        self._view_caches: dict[int, dict] = {}
 
-    #: Attributes recreated by :meth:`_init_locks` instead of pickled.
-    _UNPICKLED = ("_registry_lock", "_file_locks", "_applied_mutex")
+    #: Attributes recreated by :meth:`_init_locks` instead of pickled
+    #: (the view cache holds replies with memoized encodings -- dropping
+    #: it keeps checkpoint images lean and is always safe).
+    _UNPICKLED = ("_registry_lock", "_file_locks", "_applied_mutex",
+                  "_view_caches")
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -284,6 +303,7 @@ class CloudServer:
         """
         if isinstance(request, REGISTRY_REQUESTS):
             with self._registry_lock.exclusive(scope="registry"):
+                self._view_caches.pop(getattr(request, "file_id", None), None)
                 yield
             return
         file_id = getattr(request, "file_id", None)
@@ -295,6 +315,7 @@ class CloudServer:
             if not obs.enabled:
                 if mutating:
                     with file_lock.exclusive():
+                        self._view_caches.pop(file_id, None)
                         yield
                 else:
                     with file_lock.shared():
@@ -305,6 +326,7 @@ class CloudServer:
             try:
                 if mutating:
                     with file_lock.exclusive():
+                        self._view_caches.pop(file_id, None)
                         yield
                 else:
                     with file_lock.shared():
@@ -335,13 +357,24 @@ class CloudServer:
                 raise ReproError("tree contains duplicate modulators")
         self._files[file_id] = ServerFile(tree=tree, ciphertexts=ciphertexts,
                                           registry=registry)
+        self._view_caches.pop(file_id, None)
 
-    def file_state(self, file_id: int) -> ServerFile:
-        """Direct state access (benchmarks, adversary subclasses, tests)."""
+    def _state(self, file_id: int) -> ServerFile:
+        """Handler-internal state lookup (keeps the view cache intact)."""
         state = self._files.get(file_id)
         if state is None:
             raise UnknownItemError(f"unknown file id {file_id}")
         return state
+
+    def file_state(self, file_id: int) -> ServerFile:
+        """Direct state access (benchmarks, adversary subclasses, tests).
+
+        Callers taking this door may mutate the state behind the
+        protocol's back, so the file's view cache is dropped up front --
+        correctness over warmth for out-of-band access.
+        """
+        self._view_caches.pop(file_id, None)
+        return self._state(file_id)
 
     def has_file(self, file_id: int) -> bool:
         return file_id in self._files
@@ -422,6 +455,39 @@ class CloudServer:
         return any(v in state.registry for v in present)
 
     # ------------------------------------------------------------------
+    # View/encode cache (read-path fast path)
+    # ------------------------------------------------------------------
+
+    def _cached_reply(self, file_id: int, key: tuple, build) -> msg.Message:
+        """Serve a read reply from the file's view cache, building on miss.
+
+        Keys embed the tree version as belt-and-suspenders, but the real
+        coherence guarantee is the invalidation in :meth:`_lock_scope`:
+        every mutating request (including modify, which does *not* bump
+        the version) drops the file's whole cache under the exclusive
+        lock before it applies.  Cached replies are flagged so
+        :func:`~repro.protocol.messages.encode_message` memoizes their
+        body -- a warm read costs one dict lookup and one join.
+        """
+        if not self.view_cache_enabled:
+            return build()
+        cache = self._view_caches.get(file_id)
+        if cache is None:
+            cache = self._view_caches.setdefault(file_id, {})
+        reply = cache.get(key)
+        hit = reply is not None
+        if not hit:
+            reply = build()
+            object.__setattr__(reply, "_cache_encoding", True)
+            if len(cache) >= self.VIEW_CACHE_LIMIT:
+                cache.clear()
+            cache[key] = reply
+        if obs.enabled:
+            from repro.obs import instruments as ins
+            ins.SERVER_VIEW_CACHE.inc(outcome="hit" if hit else "miss")
+        return reply
+
+    # ------------------------------------------------------------------
     # Handlers
     # ------------------------------------------------------------------
 
@@ -455,14 +521,20 @@ class CloudServer:
         return msg.Ack(tree_version=0)
 
     def _on_access(self, request: msg.AccessRequest) -> msg.Message:
-        state = self.file_state(request.file_id)
-        slot = state.tree.slot_of_item(request.item_id)
-        return msg.AccessReply(path=state.tree.path_view(slot),
-                               ciphertext=state.ciphertexts.get(request.item_id),
-                               tree_version=state.version)
+        state = self._state(request.file_id)
+
+        def build() -> msg.Message:
+            slot = state.tree.slot_of_item(request.item_id)
+            return msg.AccessReply(
+                path=state.tree.path_view(slot),
+                ciphertext=state.ciphertexts.get(request.item_id),
+                tree_version=state.version)
+        return self._cached_reply(request.file_id,
+                                  ("access", request.item_id, state.version),
+                                  build)
 
     def _on_modify(self, request: msg.ModifyCommit) -> msg.Message:
-        state = self.file_state(request.file_id)
+        state = self._state(request.file_id)
         if request.tree_version != state.version:
             return msg.ErrorReply(code=msg.E_STALE_STATE,
                                   detail="tree changed since access")
@@ -471,17 +543,22 @@ class CloudServer:
         return msg.Ack(tree_version=state.version)
 
     def _on_delete_request(self, request: msg.DeleteRequest) -> msg.Message:
-        state = self.file_state(request.file_id)
-        slot = state.tree.slot_of_item(request.item_id)
-        return msg.DeleteChallenge(
-            mt=state.tree.mt_view(slot),
-            ciphertext=state.ciphertexts.get(request.item_id),
-            balance=state.tree.balance_view(),
-            tree_version=state.version,
-        )
+        state = self._state(request.file_id)
+
+        def build() -> msg.Message:
+            slot = state.tree.slot_of_item(request.item_id)
+            return msg.DeleteChallenge(
+                mt=state.tree.mt_view(slot),
+                ciphertext=state.ciphertexts.get(request.item_id),
+                balance=state.tree.balance_view(),
+                tree_version=state.version,
+            )
+        return self._cached_reply(request.file_id,
+                                  ("delete", request.item_id, state.version),
+                                  build)
 
     def _on_delete_commit(self, request: msg.DeleteCommit) -> msg.Message:
-        state = self.file_state(request.file_id)
+        state = self._state(request.file_id)
         replayed = self._check_replay(state, request)
         if replayed is not None:
             return replayed
@@ -524,23 +601,27 @@ class CloudServer:
 
     def _on_batch_delete_request(self,
                                  request: msg.BatchDeleteRequest) -> msg.Message:
-        state = self.file_state(request.file_id)
+        state = self._state(request.file_id)
         if not request.item_ids:
             raise ReproError("empty batch")
         if len(set(request.item_ids)) != len(request.item_ids):
             raise ReproError("batch item ids must be distinct")
-        tree = state.tree
-        slots = tuple(tree.slot_of_item(item_id)
-                      for item_id in request.item_ids)
-        view = tree.batch_view(slots)
-        ciphertexts = tuple(state.ciphertexts.get(item_id)
-                            for item_id in request.item_ids)
-        return msg.BatchDeleteReply(n_leaves=view.n_leaves,
-                                    target_slots=view.target_slots,
-                                    links=view.links,
-                                    leaf_mods=view.leaf_mods,
-                                    ciphertexts=ciphertexts,
-                                    tree_version=state.version)
+        def build() -> msg.Message:
+            tree = state.tree
+            slots = tuple(tree.slot_of_item(item_id)
+                          for item_id in request.item_ids)
+            view = tree.batch_view(slots)
+            ciphertexts = tuple(state.ciphertexts.get(item_id)
+                                for item_id in request.item_ids)
+            return msg.BatchDeleteReply(n_leaves=view.n_leaves,
+                                        target_slots=view.target_slots,
+                                        links=view.links,
+                                        leaf_mods=view.leaf_mods,
+                                        ciphertexts=ciphertexts,
+                                        tree_version=state.version)
+        return self._cached_reply(request.file_id,
+                                  ("batch", request.item_ids, state.version),
+                                  build)
 
     @staticmethod
     def _validate_batch_moves(tree: ModulationTree,
@@ -600,7 +681,7 @@ class CloudServer:
 
     def _on_batch_delete_commit(self,
                                 request: msg.BatchDeleteCommit) -> msg.Message:
-        state = self.file_state(request.file_id)
+        state = self._state(request.file_id)
         replayed = self._check_replay(state, request)
         if replayed is not None:
             return replayed
@@ -654,12 +735,16 @@ class CloudServer:
         return ack
 
     def _on_insert_request(self, request: msg.InsertRequest) -> msg.Message:
-        state = self.file_state(request.file_id)
-        return msg.InsertChallenge(path=state.tree.insert_view(),
-                                   tree_version=state.version)
+        state = self._state(request.file_id)
+
+        def build() -> msg.Message:
+            return msg.InsertChallenge(path=state.tree.insert_view(),
+                                       tree_version=state.version)
+        return self._cached_reply(request.file_id,
+                                  ("insert", state.version), build)
 
     def _on_insert_commit(self, request: msg.InsertCommit) -> msg.Message:
-        state = self.file_state(request.file_id)
+        state = self._state(request.file_id)
         replayed = self._check_replay(state, request)
         if replayed is not None:
             return replayed
@@ -684,23 +769,27 @@ class CloudServer:
         return ack
 
     def _on_fetch_file(self, request: msg.FetchFileRequest) -> msg.Message:
-        state = self.file_state(request.file_id)
-        tree = state.tree
-        n = tree.leaf_count
-        links = []
-        leaves = []
-        for kind, _slot, value in tree.iter_modulators():
-            if kind == LINK:
-                links.append(value)
-            else:
-                leaves.append(value)
-        item_ids = tree.item_ids()
-        ciphertexts = tuple(state.ciphertexts.get(item_id)
-                            for item_id in item_ids)
-        return msg.FetchFileReply(n_leaves=n, item_ids=tuple(item_ids),
-                                  links=tuple(links), leaves=tuple(leaves),
-                                  ciphertexts=ciphertexts,
-                                  tree_version=state.version)
+        state = self._state(request.file_id)
+
+        def build() -> msg.Message:
+            tree = state.tree
+            n = tree.leaf_count
+            links = []
+            leaves = []
+            for kind, _slot, value in tree.iter_modulators():
+                if kind == LINK:
+                    links.append(value)
+                else:
+                    leaves.append(value)
+            item_ids = tree.item_ids()
+            ciphertexts = tuple(state.ciphertexts.get(item_id)
+                                for item_id in item_ids)
+            return msg.FetchFileReply(n_leaves=n, item_ids=tuple(item_ids),
+                                      links=tuple(links), leaves=tuple(leaves),
+                                      ciphertexts=ciphertexts,
+                                      tree_version=state.version)
+        return self._cached_reply(request.file_id, ("fetch", state.version),
+                                  build)
 
     def _on_delete_file(self, request: msg.DeleteFileRequest) -> msg.Message:
         self._files.pop(request.file_id, None)

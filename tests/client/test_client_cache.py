@@ -1,0 +1,191 @@
+"""The client-side chain cache (ISSUE 5 layer 2).
+
+The cache must be performance-only: every plaintext a warm client sees is
+byte-identical to a cold client's, hash-call savings are real, and wrong
+keys or out-of-band rotations degrade to the slow path, never to wrong
+answers.
+"""
+
+import pytest
+
+from repro.client.client import AssuredDeletionClient
+from repro.core.errors import IntegrityError
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol.channel import LoopbackChannel
+from repro.server.server import CloudServer
+
+
+def make_pair(seed="cache-test", cache=True):
+    server = CloudServer()
+    client = AssuredDeletionClient(LoopbackChannel(server),
+                                   rng=DeterministicRandom(seed),
+                                   cache=cache)
+    return server, client
+
+
+def test_cache_is_off_by_default():
+    _server, client = make_pair(cache=False)
+    key = client.outsource(1, [b"a", b"b"])
+    ids = client.item_ids_of(2)
+    client.access(1, key, ids[0])
+    client.access(1, key, ids[0])
+    assert client.cache_hits == 0 and client.cache_misses == 0
+    assert not client._caches
+
+
+def test_warm_access_skips_chain_hashes():
+    _server, client = make_pair()
+    key = client.outsource(1, [b"a", b"b", b"c"])
+    ids = client.item_ids_of(3)
+    before = client.engine.hash_calls
+    assert client.access(1, key, ids[1]) == b"b"
+    assert client.engine.hash_calls == before  # seeded by outsource
+    assert client.cache_hits == 1
+
+
+def test_cold_access_populates_then_hits():
+    server, _ = make_pair()
+    client = AssuredDeletionClient(LoopbackChannel(server),
+                                   rng=DeterministicRandom("warmup"),
+                                   cache=True)
+    seeder = AssuredDeletionClient(LoopbackChannel(server),
+                                   rng=DeterministicRandom("seeder"))
+    key = seeder.outsource(1, [b"a", b"b"])
+    ids = seeder.item_ids_of(2)
+    assert client.access(1, key, ids[0]) == b"a"
+    assert client.cache_misses == 1
+    before = client.engine.hash_calls
+    assert client.access(1, key, ids[0]) == b"a"
+    assert client.engine.hash_calls == before
+    assert client.cache_hits == 1
+
+
+def test_delete_rotates_cache_in_place():
+    _server, client = make_pair()
+    key = client.outsource(1, [b"a", b"b", b"c", b"d"])
+    ids = client.item_ids_of(4)
+    key2 = client.delete(1, key, ids[1])
+    entry = client._caches[1]
+    assert entry.master_key == key2
+    assert ids[1] not in entry.outputs
+    before = client.engine.hash_calls
+    assert client.access(1, key2, ids[0]) == b"a"
+    assert client.engine.hash_calls == before  # survivor stayed warm
+    assert client.fetch_file(1, key2) == {ids[0]: b"a", ids[2]: b"c",
+                                          ids[3]: b"d"}
+
+
+def test_delete_many_rotates_cache_in_place():
+    _server, client = make_pair()
+    key = client.outsource(1, [b"a", b"b", b"c", b"d", b"e"])
+    ids = client.item_ids_of(5)
+    key2 = client.delete_many(1, key, [ids[0], ids[3]])
+    entry = client._caches[1]
+    assert entry.master_key == key2
+    assert not {ids[0], ids[3]} & set(entry.outputs)
+    before = client.engine.hash_calls
+    assert client.access(1, key2, ids[4]) == b"e"
+    assert client.engine.hash_calls == before
+
+
+def test_insert_adds_to_cache_and_keeps_survivors():
+    _server, client = make_pair()
+    key = client.outsource(1, [b"a", b"b"])
+    ids = client.item_ids_of(2)
+    new_id = client.insert(1, key, b"fresh")
+    before = client.engine.hash_calls
+    assert client.access(1, key, new_id) == b"fresh"
+    assert client.access(1, key, ids[0]) == b"a"
+    assert client.engine.hash_calls == before
+
+
+def test_modify_leaves_cache_warm():
+    _server, client = make_pair()
+    key = client.outsource(1, [b"a", b"b"])
+    ids = client.item_ids_of(2)
+    client.modify(1, key, ids[0], b"patched")
+    before = client.engine.hash_calls
+    assert client.access(1, key, ids[0]) == b"patched"
+    assert client.engine.hash_calls == before
+
+
+def test_foreign_rotation_invalidates_by_version():
+    """Another client's deletion bumps the version; the stale entry must
+    miss (and the subsequent re-derivation still verifies)."""
+    server, client = make_pair()
+    key = client.outsource(1, [b"a", b"b", b"c"])
+    ids = client.item_ids_of(3)
+    other = AssuredDeletionClient(LoopbackChannel(server),
+                                  rng=DeterministicRandom("other"),
+                                  store_keys=False)
+    key2 = other.delete(1, key, ids[1])
+    hits = client.cache_hits
+    assert client.access(1, key2, ids[0]) == b"a"
+    assert client.cache_hits == hits  # miss, not a stale hit
+    assert client.cache_misses >= 1
+
+
+def test_wrong_key_fails_closed_and_preserves_entry():
+    _server, client = make_pair()
+    key = client.outsource(1, [b"a"])
+    ids = client.item_ids_of(1)
+    with pytest.raises(IntegrityError):
+        client.access(1, b"\x00" * 16, ids[0])
+    assert client._caches[1].master_key == key
+    assert client.access(1, key, ids[0]) == b"a"
+
+
+def test_warm_fetch_file_skips_derivation():
+    _server, client = make_pair()
+    key = client.outsource(1, [bytes([i]) * 10 for i in range(8)])
+    ids = client.item_ids_of(8)
+    before = client.engine.hash_calls
+    result = client.fetch_file(1, key)
+    assert client.engine.hash_calls == before  # 3n-2 sweep skipped
+    assert result == {item_id: bytes([i]) * 10
+                      for i, item_id in enumerate(ids)}
+
+
+def test_disable_cache_clears_state():
+    _server, client = make_pair()
+    key = client.outsource(1, [b"a"])
+    ids = client.item_ids_of(1)
+    client.disable_cache()
+    assert not client._caches
+    assert client.access(1, key, ids[0]) == b"a"
+    client.enable_cache()
+    assert client.access(1, key, ids[0]) == b"a"
+
+
+def test_invalidate_cache_single_and_all():
+    _server, client = make_pair()
+    client.outsource(1, [b"a"])
+    client.outsource(2, [b"b"])
+    assert set(client._caches) == {1, 2}
+    client.invalidate_cache(1)
+    assert set(client._caches) == {2}
+    client.invalidate_cache()
+    assert not client._caches
+
+
+def test_delete_file_state_drops_entry():
+    _server, client = make_pair()
+    client.outsource(1, [b"a"])
+    client.delete_file_state(1)
+    assert 1 not in client._caches
+
+
+def test_cache_instruments_exported():
+    from repro.obs import runtime as obs
+    from repro.obs.instruments import CLIENT_CACHE_HITS, CLIENT_CACHE_MISSES
+    _server, client = make_pair()
+    obs.enable()
+    try:
+        key = client.outsource(1, [b"a"])
+        ids = client.item_ids_of(1)
+        hits0 = CLIENT_CACHE_HITS.value(op="access")
+        client.access(1, key, ids[0])
+        assert CLIENT_CACHE_HITS.value(op="access") == hits0 + 1
+        assert CLIENT_CACHE_MISSES.value(op="access") >= 0
+    finally:
+        obs.disable()

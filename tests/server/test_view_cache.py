@@ -1,0 +1,122 @@
+"""The server view/encode cache (ISSUE 5 layer 3).
+
+The cache must be bytes-invisible: a warm reply encodes identically to
+a cold one, every mutation (including modify, which does not bump the
+tree version) invalidates before it applies, and the public
+``file_state`` accessor drops the cache so out-of-band tampering is
+always reflected -- correctness over warmth.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.errors import IntegrityError
+from repro.protocol import messages as msg
+from repro.protocol.messages import encode_message
+from repro.protocol.wire import WireContext
+from tests.conftest import make_scheme
+
+CTX = WireContext(modulator_width=20)
+
+
+def test_warm_reply_is_byte_identical():
+    scheme = make_scheme("view-cache")
+    fid, ids = scheme.new_file([b"a", b"b", b"c"])
+    request = msg.AccessRequest(file_id=fid, item_id=ids[1])
+    cold = scheme.server.handle(request)
+    warm = scheme.server.handle(request)
+    assert warm is cold  # served from the cache, not rebuilt
+    assert encode_message(CTX, warm) == encode_message(CTX, cold)
+
+
+def test_disabled_cache_serves_equal_bytes():
+    scheme = make_scheme("view-cache")
+    fid, ids = scheme.new_file([b"a", b"b"])
+    request = msg.FetchFileRequest(file_id=fid)
+    cached_reply = scheme.server.handle(request)
+    scheme.server.view_cache_enabled = False
+    uncached_reply = scheme.server.handle(request)
+    assert uncached_reply is not cached_reply  # flag bypasses the cache
+    assert encode_message(CTX, uncached_reply) == encode_message(
+        CTX, cached_reply)
+
+
+def test_mutations_invalidate_under_the_lock():
+    scheme = make_scheme("view-cache")
+    fid, ids = scheme.new_file([b"a", b"b", b"c"])
+    assert scheme.access(fid, ids[0]) == b"a"
+    assert scheme.server._view_caches.get(fid)
+    scheme.delete(fid, ids[1])
+    assert not scheme.server._view_caches.get(fid)
+    assert scheme.access(fid, ids[0]) == b"a"
+
+
+def test_modify_invalidates_despite_unchanged_version():
+    """Modify does not bump the tree version, so a version-keyed cache
+    alone would serve the old ciphertext; the lock-scope invalidation
+    must catch it."""
+    scheme = make_scheme("view-cache")
+    fid, ids = scheme.new_file([b"old", b"other"])
+    version = scheme.server._state(fid).version
+    assert scheme.access(fid, ids[0]) == b"old"
+    scheme.modify(fid, ids[0], b"new")
+    assert scheme.server._state(fid).version == version
+    assert scheme.access(fid, ids[0]) == b"new"
+    assert scheme.fetch_file(fid) == {ids[0]: b"new", ids[1]: b"other"}
+
+
+def test_public_file_state_invalidates():
+    """Out-of-band tampering through the public accessor must be
+    visible to the next read, never masked by a stale cached reply."""
+    scheme = make_scheme("view-cache")
+    fid, ids = scheme.new_file([b"a", b"b"])
+    scheme.access(fid, ids[0])  # warm the cache
+    state = scheme.server.file_state(fid)
+    good = state.ciphertexts.get(ids[0])
+    state.ciphertexts.put(ids[0], b"\x00" * len(good))
+    with pytest.raises(IntegrityError):
+        scheme.access(fid, ids[0])
+    state = scheme.server.file_state(fid)
+    state.ciphertexts.put(ids[0], good)
+    assert scheme.access(fid, ids[0]) == b"a"
+
+
+def test_cache_limit_bounds_entries():
+    scheme = make_scheme("view-cache")
+    fid, ids = scheme.new_file([bytes([i]) for i in range(6)])
+    scheme.server.VIEW_CACHE_LIMIT = 3
+    for item_id in ids:
+        scheme.server.handle(msg.AccessRequest(file_id=fid, item_id=item_id))
+    assert len(scheme.server._view_caches[fid]) <= 3
+    for i, item_id in enumerate(ids):  # replies stay correct after clears
+        assert scheme.access(fid, item_id) == bytes([i])
+
+
+def test_pickling_drops_view_caches():
+    scheme = make_scheme("view-cache")
+    fid, ids = scheme.new_file([b"a", b"b"])
+    scheme.server.handle(msg.AccessRequest(file_id=fid, item_id=ids[0]))
+    assert scheme.server._view_caches
+    clone = pickle.loads(pickle.dumps(scheme.server))
+    assert clone._view_caches == {}
+    reply = clone.handle(msg.AccessRequest(file_id=fid, item_id=ids[0]))
+    assert isinstance(reply, msg.AccessReply)
+
+
+def test_view_cache_instrumented():
+    from repro.obs import runtime as obs
+    from repro.obs.instruments import SERVER_VIEW_CACHE
+    scheme = make_scheme("view-cache")
+    fid, ids = scheme.new_file([b"a"])
+    obs.enable()
+    try:
+        misses0 = SERVER_VIEW_CACHE.value(outcome="miss")
+        hits0 = SERVER_VIEW_CACHE.value(outcome="hit")
+        request = msg.AccessRequest(file_id=fid, item_id=ids[0])
+        scheme.server.handle(request)
+        scheme.server.handle(request)
+        assert SERVER_VIEW_CACHE.value(outcome="miss") == misses0 + 1
+        assert SERVER_VIEW_CACHE.value(outcome="hit") == hits0 + 1
+    finally:
+        obs.disable()
