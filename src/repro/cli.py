@@ -194,7 +194,10 @@ def cmd_serve(vault: Vault, args) -> int:
     vault.load()
     if vault.fs.server is None:
         raise ReproError("this vault was created against an external server")
-    from repro.protocol.tcp import TcpServerHost
+    if args.use_async:
+        from repro.protocol.aio import AsyncTcpServerHost as host_cls
+    else:
+        from repro.protocol.tcp import TcpServerHost as host_cls
 
     metrics_server = None
     if args.metrics_port is not None:
@@ -217,11 +220,13 @@ def cmd_serve(vault: Vault, args) -> int:
         wal_path = os.path.join(vault.server_dir, "server.wal")
         if not os.path.exists(image) and not os.path.exists(wal_path):
             save_server(server, image)
-        server = recover_server(image, wal_path)
-        _print(f"durable state: {image} + {wal_path}")
+        server = recover_server(image, wal_path,
+                                group_commit=args.group_commit)
+        _print(f"durable state: {image} + {wal_path}"
+               + (" (group commit)" if args.group_commit else ""))
 
-    with TcpServerHost(server, port=args.port,
-                       max_conns=args.max_conns) as host:
+    with host_cls(server, port=args.port,
+                  max_conns=args.max_conns) as host:
         _print(f"serving vault on {host.address[0]}:{host.address[1]} "
                f"(ctrl-C to stop)")
         try:
@@ -380,6 +385,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-conns", type=int, default=None,
                        help="bound concurrently served TCP connections "
                             "(excess dials queue in the listen backlog)")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="serve over the asyncio host (pipelined tagged "
+                            "frames, thread-per-connection-free)")
+    serve.add_argument("--group-commit", action="store_true",
+                       help="with --durable: coalesce concurrent WAL appends "
+                            "into shared write+fsync batches")
     serve.set_defaults(func=cmd_serve)
     stress = sub.add_parser(
         "stress", help="run one seeded concurrency stress iteration")
@@ -389,7 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="operations per worker thread")
     stress.add_argument("--readers", type=int, default=1,
                         help="keyless foreign-reader threads")
-    stress.add_argument("--transport", choices=("loopback", "tcp"),
+    stress.add_argument("--transport", choices=("loopback", "tcp", "async"),
                         default="loopback")
     stress.add_argument("--toggle-caches", action="store_true",
                         help="randomly flip the hot-path caches mid-run")

@@ -103,6 +103,12 @@ WAL_FSYNC_SECONDS = REGISTRY.histogram(
     "repro_wal_fsync_seconds",
     "fsync latency of one durable WAL append",
     (), DISK_BUCKETS)
+#: Powers of two up to the default group_max_batch (128) and beyond.
+BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+WAL_GROUP_COMMIT_BATCH = REGISTRY.histogram(
+    "repro_wal_group_commit_batch",
+    "Records coalesced into one group-commit WAL write+fsync",
+    (), BATCH_BUCKETS)
 WAL_REPLAYED = REGISTRY.counter(
     "repro_wal_replayed_records_total",
     "WAL records re-executed during crash recovery")

@@ -224,18 +224,25 @@ class Ack(Message):
 @register
 @dataclass(frozen=True)
 class ErrorReply(Message):
-    """Failure reply with a machine-readable code."""
+    """Failure reply with a machine-readable code.
+
+    ``request_id`` echoes the failing request's idempotency id (0 when
+    the request carried none or could not be decoded), so a pipelined
+    client -- or the obs layer -- can correlate a server-side failure
+    with the request that caused it.
+    """
 
     TYPE: ClassVar[int] = 2
     code: int = 0
     detail: str = ""
+    request_id: int = 0
 
     def encode_body(self, w: Writer) -> None:
-        w.u16(self.code).text(self.detail)
+        w.u16(self.code).text(self.detail).u64(self.request_id)
 
     @classmethod
     def decode_body(cls, r: Reader) -> "ErrorReply":
-        return cls(code=r.u16(), detail=r.text())
+        return cls(code=r.u16(), detail=r.text(), request_id=r.u64())
 
 
 @register

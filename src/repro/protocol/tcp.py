@@ -106,6 +106,33 @@ def recv_frame(sock: socket.socket) -> bytes:
     return recv_exact(sock, length)
 
 
+def error_reply_bytes(backend, request_bytes: bytes,
+                      exc: Exception) -> bytes | None:
+    """Encode an ErrorReply for a request the backend failed on.
+
+    The failing request is re-decoded (best effort) so the reply echoes
+    its ``request_id`` and trace trailer -- a pipelined client, and the
+    obs layer, can then correlate the failure with the request that
+    caused it.  Returns ``None`` when the backend has no wire context
+    (a baseline backend cannot produce protocol messages at all).
+    """
+    ctx = getattr(backend, "ctx", None)
+    if ctx is None:
+        return None
+    from repro.protocol import messages as msg
+    request_id = 0
+    trace = None
+    try:
+        request = msg.decode_message(ctx, request_bytes)
+        request_id = getattr(request, "request_id", 0) or 0
+        trace = msg.get_trace(request)
+    except Exception:
+        pass  # undecodable request: nothing to echo
+    reply = msg.ErrorReply(code=msg.E_BAD_REQUEST, detail=str(exc),
+                           request_id=request_id)
+    return msg.encode_message(ctx, reply, trace=trace)
+
+
 class _Handler(socketserver.BaseRequestHandler):
     def setup(self) -> None:
         super().setup()
@@ -132,8 +159,8 @@ class _Handler(socketserver.BaseRequestHandler):
             try:
                 response = backend.handle_bytes(request)
             except Exception as exc:  # never kill the connection silently
-                ctx = getattr(backend, "ctx", None)
-                if ctx is None:
+                response = error_reply_bytes(backend, request, exc)
+                if response is None:
                     # A baseline backend without a wire context cannot
                     # produce an ErrorReply; close the connection loudly
                     # instead of dying with an AttributeError.
@@ -141,10 +168,6 @@ class _Handler(socketserver.BaseRequestHandler):
                                  "to report through: %s",
                                  type(backend).__name__, exc)
                     return
-                from repro.protocol import messages as msg
-                response = msg.encode_message(
-                    ctx, msg.ErrorReply(code=msg.E_BAD_REQUEST,
-                                        detail=str(exc)))
             try:
                 send_frame(self.request, response)
             except OSError:
@@ -192,7 +215,16 @@ class _ThreadedServer(socketserver.ThreadingTCPServer):
     def process_request(self, request, client_address) -> None:
         if self.conn_slots is not None:
             self.conn_slots.acquire()
-        super().process_request(request, client_address)
+        try:
+            super().process_request(request, client_address)
+        except BaseException:
+            # Dispatch failed before process_request_thread could run
+            # (e.g. thread creation hit a resource limit), so the
+            # release in its finally block will never happen.  Give the
+            # slot back here or the connection budget shrinks forever.
+            if self.conn_slots is not None:
+                self.conn_slots.release()
+            raise
 
     def process_request_thread(self, request, client_address) -> None:
         try:
@@ -347,6 +379,9 @@ class TcpChannel(Channel):
         #: Transport framing bytes, kept apart from the protocol counters.
         self.frame_bytes = 0
         self._lock = threading.Lock()
+        #: Set by close(): wakes a retry parked in its backoff sleep and
+        #: stops further attempts from re-dialling.
+        self._closing = threading.Event()
         self._connect()  # fail fast if the server is unreachable
 
     def _connect(self) -> socket.socket:
@@ -366,17 +401,23 @@ class TcpChannel(Channel):
             self._sock = None
 
     def _transport(self, request_bytes: bytes) -> bytes:
-        with self._lock:
-            last_error: Exception | None = None
-            for attempt in range(self.retry.attempts):
-                if attempt:
-                    time.sleep(self.retry.delay_before(attempt))
-                    self.counters.retransmits += 1
-                    if obs.enabled:
-                        from repro.obs import instruments as ins
-                        ins.RPC_RETRANSMITS.inc()
-                        log_event("rpc.retransmit", attempt=attempt,
-                                  error=repr(last_error))
+        last_error: Exception | None = None
+        for attempt in range(self.retry.attempts):
+            if attempt:
+                # Back off OUTSIDE the lock: a concurrent close() (or
+                # another caller) must not wait out the whole retry
+                # schedule.  The wait doubles as the close interrupt.
+                if self._closing.wait(self.retry.delay_before(attempt)):
+                    break
+                self.counters.retransmits += 1
+                if obs.enabled:
+                    from repro.obs import instruments as ins
+                    ins.RPC_RETRANSMITS.inc()
+                    log_event("rpc.retransmit", attempt=attempt,
+                              error=repr(last_error))
+            with self._lock:
+                if self._closing.is_set():
+                    break
                 try:
                     sock = self._sock if self._sock is not None \
                         else self._connect()
@@ -395,11 +436,14 @@ class TcpChannel(Channel):
                     continue
                 self.frame_bytes += 8  # 4-byte length each way
                 return response
-            raise ChannelError(
-                f"request failed after {self.retry.attempts} attempt(s): "
-                f"{last_error!r}")
+        if self._closing.is_set():
+            raise ChannelError("channel is closed")
+        raise ChannelError(
+            f"request failed after {self.retry.attempts} attempt(s): "
+            f"{last_error!r}")
 
     def close(self) -> None:
+        self._closing.set()  # wakes a retry parked in its backoff sleep
         with self._lock:
             self._invalidate()
 

@@ -115,6 +115,10 @@ def _save_server(server: CloudServer, path: str) -> int:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    # The rename itself lives in the directory: without syncing it, a
+    # crash can forget the replace (or the first image's very existence).
+    from repro.server.wal import fsync_directory
+    fsync_directory(path)
     return len(image)
 
 

@@ -278,9 +278,11 @@ class CloudServer:
         except SimulatedCrash:
             raise
         except UnknownItemError as exc:
-            reply = msg.ErrorReply(code=msg.E_UNKNOWN_ITEM, detail=str(exc))
+            reply = msg.ErrorReply(code=msg.E_UNKNOWN_ITEM, detail=str(exc),
+                                   request_id=request_id)
         except ReproError as exc:
-            reply = msg.ErrorReply(code=msg.E_BAD_REQUEST, detail=str(exc))
+            reply = msg.ErrorReply(code=msg.E_BAD_REQUEST, detail=str(exc),
+                                   request_id=request_id)
         if request_id:
             self._remember_applied(request_id, reply)
         return reply

@@ -28,6 +28,38 @@ A torn tail record -- the ``kill -9`` landed mid-``write`` -- fails the
 length or CRC check; :class:`CommitLog` truncates it away on open, which
 is exactly the all-or-nothing outcome the client's retry expects (the
 commit was never acknowledged, so re-sending it applies it once).
+
+Two failure modes beyond the torn tail are handled explicitly:
+
+* **Failed append** (disk full, I/O error): the write may have left a
+  torn record *mid*-file; if later appends succeeded after it, the
+  stop-at-first-bad-record scan would silently discard them on the next
+  open.  The log therefore tracks its last durable offset and, on an
+  append failure, truncates back to it before accepting anything else;
+  if even that repair fails the log **fails closed** (every further
+  append raises) rather than acknowledge commits it may lose.
+* **Lost directory entry**: file data is fsync'd but a freshly created
+  file's *name* lives in the directory, which has its own durability.
+  Log creation and reset fsync the parent directory (POSIX only; no-op
+  elsewhere) so a crash cannot forget the log file itself.
+
+Group commit
+------------
+
+With ``group_commit=True`` concurrent appenders enqueue their records
+and a single committer thread (started lazily on the first grouped
+append) coalesces the queue into ONE ``write`` + ONE ``fsync``; every
+``append`` still blocks until *its* record is durable.  Batching is
+natural: while one fsync is in flight, new appenders pile up in the
+queue and the committer takes them all on its next pass.  Appenders
+wait only on their own entry's event -- never on the commit lock -- so
+a committed append returns immediately even while the next batch's
+fsync is in flight (a leader-follower scheme where followers re-take
+the lock convoys exactly there).  ``group_max_batch`` bounds one batch;
+``group_max_wait`` optionally lets the committer linger to fill it.
+The observable durability contract is identical to per-append fsync --
+``append`` returning means the record survives a crash -- only the
+fsyncs-per-record ratio changes.
 """
 
 from __future__ import annotations
@@ -51,6 +83,41 @@ _RECORD = struct.Struct(">II")
 CHECKPOINT_INTERVAL = 256
 
 
+def fsync_directory(path: str) -> None:
+    """Best-effort fsync of ``path``'s parent directory.
+
+    On POSIX a newly created (or truncated-and-recreated) file is only
+    crash-durable once the directory holding its name is synced too.
+    Elsewhere (or when the directory cannot be opened) this is a no-op:
+    the platforms without ``O_DIRECTORY`` semantics do not expose the
+    failure mode either.
+    """
+    if os.name != "posix":
+        return
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class _GroupEntry:
+    """One enqueued record waiting for the committer to make it durable."""
+
+    __slots__ = ("payload", "event", "error")
+
+    def __init__(self, payload: bytes) -> None:
+        self.payload = payload
+        self.event = threading.Event()
+        self.error: Exception | None = None
+
+
 class CommitLog:
     """Append-only fsync'd log of encoded mutating requests.
 
@@ -58,19 +125,48 @@ class CommitLog:
     tail.  ``append`` is durable on return (``flush`` + ``fsync``);
     ``reset`` empties the log after its effects have been checkpointed
     into the state image.
+
+    ``group_commit=True`` coalesces concurrent appends into one
+    write+fsync (see the module docstring); ``group_max_batch`` bounds
+    the records per batch and ``group_max_wait`` (seconds) lets the
+    committer wait briefly for stragglers before syncing.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, *, group_commit: bool = False,
+                 group_max_batch: int = 128,
+                 group_max_wait: float = 0.0) -> None:
+        if group_max_batch < 1:
+            raise ValueError("group_max_batch must be >= 1")
+        if group_max_wait < 0:
+            raise ValueError("group_max_wait must be >= 0")
         self.path = path
+        self.group_commit = group_commit
+        self.group_max_batch = group_max_batch
+        self.group_max_wait = group_max_wait
         self._records: list[bytes] = self._scan()
         self._handle = open(path, "ab")
         #: Records appended since the last checkpoint/open, for callers
         #: implementing a checkpoint-every-N policy.
         self.appended = 0
-        #: Serialises the write+fsync of one record: appends arriving
-        #: from different per-file handler threads land whole, never
-        #: interleaved mid-record (the bottom of the lock hierarchy).
+        #: Serialises the write+fsync of one record (or one group-commit
+        #: batch): appends arriving from different per-file handler
+        #: threads land whole, never interleaved mid-record (the bottom
+        #: of the lock hierarchy).
         self._lock = threading.Lock()
+        #: End of the validated, fsync'd prefix of the file.  A failed
+        #: append truncates back to this before the log accepts more.
+        self._durable_size = self._handle.tell()
+        #: Fail-closed flag: set when the durable prefix could not be
+        #: restored after an append failure.
+        self._failed = False
+        # Group-commit queue (guarded by its own tiny lock so enqueue
+        # never waits on an fsync in flight) and the committer thread
+        # that drains it, started lazily on the first grouped append.
+        self._queue_lock = threading.Lock()
+        self._queue: list[_GroupEntry] = []
+        self._work = threading.Condition(self._queue_lock)
+        self._committer: threading.Thread | None = None
+        self._stop_committer = False
 
     def _scan(self) -> list[bytes]:
         """Validate the on-disk log, truncating a torn tail record."""
@@ -78,26 +174,20 @@ class CommitLog:
             with open(self.path, "rb") as handle:
                 data = handle.read()
         except FileNotFoundError:
-            with open(self.path, "wb") as handle:
-                handle.write(_HEADER)
-                handle.flush()
-                os.fsync(handle.fileno())
+            self._write_header()
+            fsync_directory(self.path)  # make the new *name* durable too
             return []
         if not data:
             # An empty file can be left by a crash between open and the
             # header write; rewrite the header.
-            with open(self.path, "wb") as handle:
-                handle.write(_HEADER)
-                handle.flush()
-                os.fsync(handle.fileno())
+            self._write_header()
+            fsync_directory(self.path)
             return []
         if len(data) < len(_HEADER):
             if _HEADER.startswith(data):
                 # Torn header: the crash landed during log creation.
-                with open(self.path, "wb") as handle:
-                    handle.write(_HEADER)
-                    handle.flush()
-                    os.fsync(handle.fileno())
+                self._write_header()
+                fsync_directory(self.path)
                 return []
             raise ProtocolError(f"{self.path!r} is not a commit log")
         if data[:4] != _MAGIC:
@@ -134,6 +224,16 @@ class CommitLog:
                 os.fsync(handle.fileno())
         return records
 
+    def _write_header(self) -> None:
+        with open(self.path, "wb") as handle:
+            handle.write(_HEADER)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _sync(self, fileno: int) -> None:
+        """The durability barrier (seam for fault/latency injection)."""
+        os.fsync(fileno)
+
     def records(self) -> list[bytes]:
         """The validated records found on disk when the log was opened."""
         return list(self._records)
@@ -141,23 +241,43 @@ class CommitLog:
     def append(self, payload: bytes) -> None:
         """Durably append one record (fsync'd before returning).
 
-        Thread-safe: concurrent appenders serialise on the log's lock,
-        so each CRC-framed record (and its fsync) lands whole on disk.
+        Thread-safe: concurrent appenders serialise on the log's lock
+        (or, under group commit, enqueue for the current leader), so
+        each CRC-framed record (and its fsync) lands whole on disk.
+        Raises if the log has failed closed after an unrepairable append
+        error -- an unacknowledged commit, never a silently lost one.
         """
         if obs.enabled:
             with span("wal.append", record_bytes=len(payload)):
-                self._write_record(payload)
+                if self.group_commit:
+                    self._append_grouped(payload)
+                else:
+                    self._write_record(payload)
+        elif self.group_commit:
+            self._append_grouped(payload)
         else:
             self._write_record(payload)
 
+    def _check_usable(self) -> None:
+        if self._failed:
+            raise ProtocolError(
+                f"commit log {self.path!r} failed closed after an append "
+                f"error; refusing to acknowledge commits it may lose")
+
     def _write_record(self, payload: bytes) -> None:
+        frame = _RECORD.pack(len(payload),
+                             zlib.crc32(payload) & 0xFFFFFFFF) + payload
         with self._lock:
-            self._handle.write(_RECORD.pack(len(payload),
-                                            zlib.crc32(payload) & 0xFFFFFFFF))
-            self._handle.write(payload)
-            self._handle.flush()
+            self._check_usable()
             start = time.perf_counter()
-            os.fsync(self._handle.fileno())
+            try:
+                self._handle.write(frame)
+                self._handle.flush()
+                self._sync(self._handle.fileno())
+            except Exception:
+                self._restore_durable_prefix()
+                raise
+            self._durable_size += len(frame)
             self.appended += 1
         if obs.enabled:
             from repro.obs import instruments as ins
@@ -165,19 +285,141 @@ class CommitLog:
             ins.WAL_APPENDS.inc()
             ins.WAL_APPEND_BYTES.inc(len(payload))
 
+    # -- group commit ---------------------------------------------------
+
+    def _append_grouped(self, payload: bytes) -> None:
+        entry = _GroupEntry(payload)
+        with self._work:
+            if self._committer is None or not self._committer.is_alive():
+                self._stop_committer = False
+                self._committer = threading.Thread(
+                    target=self._committer_loop,
+                    name="repro-wal-committer", daemon=True)
+                self._committer.start()
+            self._queue.append(entry)
+            self._work.notify()
+        # Wait on OUR entry only -- never on the commit lock.  (A
+        # leader-follower scheme convoys here: committed appenders must
+        # re-take the lock to observe their event, and a fresh appender
+        # holding it through an fsync starves them all.)
+        entry.event.wait()
+        if entry.error is not None:
+            raise entry.error
+
+    def _committer_loop(self) -> None:
+        while True:
+            with self._work:
+                while not self._queue and not self._stop_committer:
+                    self._work.wait()
+                if not self._queue:
+                    return  # stopping and fully drained
+            try:
+                with self._lock:
+                    self._commit_batch()
+            except Exception as exc:  # defensive: never strand waiters
+                with self._queue_lock:
+                    batch = self._queue
+                    self._queue = []
+                for e in batch:
+                    e.error = exc
+                    e.event.set()
+
+    def _commit_batch(self) -> None:
+        """Drain one batch and make it durable (commit lock held)."""
+        with self._queue_lock:
+            batch = self._queue[:self.group_max_batch]
+            del self._queue[:len(batch)]
+        if not batch:
+            return
+        if len(batch) < self.group_max_batch and self.group_max_wait > 0:
+            # Linger for stragglers: trade a bounded latency bump for
+            # fewer fsyncs.  Natural batching (appenders piling up while
+            # the previous fsync runs) needs no linger at all.
+            time.sleep(self.group_max_wait)
+            with self._queue_lock:
+                extra = self._queue[:self.group_max_batch - len(batch)]
+                del self._queue[:len(extra)]
+            batch.extend(extra)
+
+        error: Exception | None = None
+        if self._failed:
+            error = ProtocolError(
+                f"commit log {self.path!r} failed closed after an append "
+                f"error; refusing to acknowledge commits it may lose")
+        else:
+            blob = b"".join(
+                _RECORD.pack(len(e.payload),
+                             zlib.crc32(e.payload) & 0xFFFFFFFF) + e.payload
+                for e in batch)
+            start = time.perf_counter()
+            try:
+                self._handle.write(blob)
+                self._handle.flush()
+                self._sync(self._handle.fileno())
+            except Exception as exc:
+                self._restore_durable_prefix()
+                error = exc
+            else:
+                self._durable_size += len(blob)
+                self.appended += len(batch)
+                if obs.enabled:
+                    from repro.obs import instruments as ins
+                    ins.WAL_FSYNC_SECONDS.observe(time.perf_counter() - start)
+                    ins.WAL_GROUP_COMMIT_BATCH.observe(len(batch))
+                    ins.WAL_APPENDS.inc(len(batch))
+                    ins.WAL_APPEND_BYTES.inc(
+                        sum(len(e.payload) for e in batch))
+        for e in batch:
+            e.error = error
+            e.event.set()
+
+    # -- failure repair -------------------------------------------------
+
+    def _restore_durable_prefix(self) -> None:
+        """Truncate back to the last durable offset (commit lock held).
+
+        A failed write/flush/fsync can leave a torn record mid-file; if
+        later appends were allowed to land after it, the next open's
+        stop-at-first-bad-record scan would silently discard them.  The
+        handle is reopened (dropping any half-flushed userspace buffer)
+        and the file cut back to the durable prefix.  If the repair
+        itself fails the log fails closed.
+        """
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+        try:
+            self._handle = open(self.path, "ab")
+            self._handle.truncate(self._durable_size)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except Exception:
+            self._failed = True
+        if obs.enabled:
+            log_event("wal.append_failed", path=self.path,
+                      failed_closed=self._failed,
+                      durable_bytes=self._durable_size)
+
     def reset(self) -> None:
         """Empty the log (call only after checkpointing its effects)."""
         with self._lock:
             self._handle.close()
-            with open(self.path, "wb") as handle:
-                handle.write(_HEADER)
-                handle.flush()
-                os.fsync(handle.fileno())
+            self._write_header()
+            fsync_directory(self.path)
             self._handle = open(self.path, "ab")
             self._records = []
             self.appended = 0
+            self._durable_size = self._handle.tell()
+            self._failed = False
 
     def close(self) -> None:
+        committer = self._committer
+        if committer is not None and committer.is_alive():
+            with self._work:
+                self._stop_committer = True
+                self._work.notify_all()
+            committer.join(timeout=10.0)
         try:
             self._handle.close()
         except OSError:
@@ -213,13 +455,15 @@ def checkpoint(server, image_path: str) -> None:
         ins.CHECKPOINTS.inc()
 
 
-def recover_server(image_path: str, wal_path: str, params=None):
+def recover_server(image_path: str, wal_path: str, params=None, *,
+                   group_commit: bool = False):
     """Rebuild a server from its checkpoint image plus commit log.
 
     Missing image: recovery starts from an empty server (the WAL then
     holds the full history since bootstrap).  Every validated WAL record
     is re-executed through the normal handlers *before* the log is
-    attached for new appends, so replay never re-logs.
+    attached for new appends, so replay never re-logs.  ``group_commit``
+    selects the coalescing append path for the re-attached log.
     """
     from repro.server.persistence import load_server
     from repro.server.server import CloudServer
@@ -229,7 +473,7 @@ def recover_server(image_path: str, wal_path: str, params=None):
             server = load_server(image_path, params)
         else:
             server = CloudServer(params)
-        log = CommitLog(wal_path)
+        log = CommitLog(wal_path, group_commit=group_commit)
         replayed = 0
         with span("server.recover.replay"):
             for record in log.records():

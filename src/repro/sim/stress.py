@@ -87,7 +87,7 @@ class StressConfig:
     files_per_worker: int = 2
     min_records: int = 3
     max_records: int = 8
-    transport: str = "loopback"  # "loopback" | "tcp"
+    transport: str = "loopback"  # "loopback" | "tcp" | "async"
     readers: int = 1
     verify_theorem2: bool = True
     wal_dir: str | None = None
@@ -98,7 +98,7 @@ class StressConfig:
     toggle_caches: bool = False
 
     def __post_init__(self) -> None:
-        if self.transport not in ("loopback", "tcp"):
+        if self.transport not in ("loopback", "tcp", "async"):
             raise ValueError(f"unknown transport {self.transport!r}")
         if self.workers < 1 or self.ops_per_worker < 1:
             raise ValueError("workers and ops_per_worker must be >= 1")
@@ -441,7 +441,10 @@ def run_stress(config: StressConfig) -> StressReport:
     wal_path = os.path.join(wal_dir, "stress.wal")
     if os.path.exists(wal_path):
         os.unlink(wal_path)
-    wal = CommitLog(wal_path)
+    # The async transport exercises the group-commit WAL path: many
+    # pipelined mutators coalescing into shared fsyncs, with the usual
+    # WAL-replay invariant still checked at the end of the run.
+    wal = CommitLog(wal_path, group_commit=(config.transport == "async"))
     server.attach_wal(wal)
 
     host = None
@@ -453,6 +456,13 @@ def run_stress(config: StressConfig) -> StressReport:
 
             def make_channel():
                 return TcpChannel(address, server.ctx)
+        elif config.transport == "async":
+            from repro.protocol.aio import AsyncTcpChannel, AsyncTcpServerHost
+            host = AsyncTcpServerHost(server).start()
+            address = host.address
+
+            def make_channel():
+                return AsyncTcpChannel(address, server.ctx)
         else:
             def make_channel():
                 return LoopbackChannel(server)

@@ -57,6 +57,15 @@ def test_tcp_stress(seed):
     _check(report)
 
 
+@pytest.mark.parametrize("seed", [f"async-{i}" for i in range(ITERATIONS)])
+def test_async_stress(seed):
+    """Pipelined asyncio transport + group-commit WAL, same invariants."""
+    report = run_stress(StressConfig(
+        seed=seed, workers=4, ops_per_worker=10, readers=2,
+        transport="async"))
+    _check(report)
+
+
 def test_same_seed_same_operations():
     """The op mix is an exact function of the seed: two runs of one seed
     perform identical operation sequences (interleavings may differ)."""
@@ -75,8 +84,24 @@ def test_transport_agnostic_op_mix():
         seed="xport", workers=2, ops_per_worker=8, transport="loopback"))
     tcp = run_stress(StressConfig(
         seed="xport", workers=2, ops_per_worker=8, transport="tcp"))
-    assert loopback.ops == tcp.ops
-    assert loopback.wal_records == tcp.wal_records
+    aio = run_stress(StressConfig(
+        seed="xport", workers=2, ops_per_worker=8, transport="async"))
+    assert loopback.ops == tcp.ops == aio.ops
+    assert loopback.wal_records == tcp.wal_records == aio.wal_records
+
+
+def test_async_same_seed_is_deterministic():
+    """Pipelining and group commit change interleavings and fsync
+    batching, never the seeded op outcome: two async runs of one seed
+    agree op-for-op and record-for-record."""
+    config = StressConfig(seed="aio-determinism", workers=3,
+                          ops_per_worker=10, readers=1, transport="async")
+    first = run_stress(config)
+    second = run_stress(config)
+    assert first.ops == second.ops
+    assert first.items_deleted == second.items_deleted
+    assert first.files_dropped == second.files_dropped
+    assert first.wal_records == second.wal_records
 
 
 def test_config_validation():

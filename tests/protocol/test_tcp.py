@@ -375,3 +375,76 @@ def test_max_conns_bounds_concurrent_connections():
 def test_max_conns_validation():
     with pytest.raises(ValueError):
         TcpServerHost(CloudServer(), max_conns=0)
+
+
+def test_failed_dispatch_releases_conn_slot(monkeypatch):
+    """Regression: if the handler thread cannot be started the slot
+    acquired in process_request must be given back -- with max_conns=1 a
+    leaked slot would lock every later client out forever."""
+    server = CloudServer()
+    with TcpServerHost(server, max_conns=1) as host:
+        threaded = getattr(host, "_server", None)
+        if threaded is None or not hasattr(threaded, "conn_slots"):
+            return  # not the threaded host (async rerun): nothing to leak
+        # Swallow the injected dispatch error instead of printing it.
+        monkeypatch.setattr(threaded, "handle_error", lambda *a: None)
+        tripped = []
+        real_start = threading.Thread.start
+
+        def flaky_start(self):
+            target = getattr(self, "_target", None)
+            if (not tripped
+                    and getattr(target, "__name__", "")
+                    == "process_request_thread"):
+                tripped.append(True)
+                raise RuntimeError("injected thread-creation failure")
+            return real_start(self)
+
+        monkeypatch.setattr(threading.Thread, "start", flaky_start)
+        retry = RetryPolicy(attempts=3, timeout=5.0, base_delay=0.01)
+        with TcpChannel(host.address, server.ctx, retry=retry) as channel:
+            # First attempt dies with the injected failure; the retry
+            # re-dials and must be served -- impossible if the slot leaked.
+            reply = channel.request(msg.FetchFileRequest(file_id=1))
+            assert isinstance(reply, msg.ErrorReply)
+        assert tripped
+        # And the (only) slot is free again for a fresh connection.
+        with TcpChannel(host.address, server.ctx, retry=retry) as channel:
+            reply = channel.request(msg.FetchFileRequest(file_id=1))
+            assert isinstance(reply, msg.ErrorReply)
+
+
+def test_close_interrupts_retry_backoff():
+    """Regression: the exponential backoff used to sleep while holding
+    the channel lock, so close() blocked for the full retry schedule."""
+    import socket as socket_mod
+
+    listener = socket_mod.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(4)
+    try:
+        # Accepts but never replies: every attempt times out, and the
+        # huge base_delay parks the retry loop in its backoff sleep.
+        retry = RetryPolicy(attempts=3, timeout=0.2, base_delay=30.0)
+        channel = TcpChannel(listener.getsockname(), server_ctx(), retry=retry)
+        failed = threading.Event()
+
+        def worker():
+            with pytest.raises(ChannelError):
+                channel.request(msg.FetchFileRequest(file_id=1))
+            failed.set()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        time.sleep(0.5)  # first attempt timed out; now inside the backoff
+        start = time.monotonic()
+        channel.close()
+        assert failed.wait(5.0)
+        assert time.monotonic() - start < 5.0  # not the 30 s backoff
+        thread.join(timeout=5.0)
+    finally:
+        listener.close()
+
+
+def server_ctx():
+    return CloudServer().ctx

@@ -1,0 +1,38 @@
+"""Wire compatibility: the FULL sync-TCP suite against the async host.
+
+The asyncio host must be a drop-in for the threaded one: the sync
+:class:`~repro.protocol.tcp.TcpChannel` (untagged frames, one request
+outstanding) has to pass every existing TCP test unchanged.  This module
+re-collects ``test_tcp.py`` with its ``TcpServerHost`` name rebound to
+:class:`~repro.protocol.aio.AsyncTcpServerHost` -- same tests, same
+assertions, different host.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.protocol.aio import AsyncTcpServerHost
+
+_PATH = os.path.join(os.path.dirname(__file__), "test_tcp.py")
+_SPEC = importlib.util.spec_from_file_location("repro_tcp_suite_rerun", _PATH)
+tcp_suite = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(tcp_suite)
+
+
+@pytest.fixture(autouse=True)
+def _use_async_host(monkeypatch):
+    """Rebind the suite's host class to the asyncio implementation."""
+    monkeypatch.setattr(tcp_suite, "TcpServerHost", AsyncTcpServerHost)
+
+
+# Re-export every test (and the fixtures they use) for collection here.
+# The functions keep ``tcp_suite`` as their globals, so the autouse
+# monkeypatch above swaps the host they construct.
+hosted_server = tcp_suite.hosted_server
+
+for _name in dir(tcp_suite):
+    if _name.startswith("test_"):
+        globals()[_name] = getattr(tcp_suite, _name)
+del _name

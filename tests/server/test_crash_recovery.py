@@ -28,11 +28,12 @@ CRASH_POINTS = [CRASH_BEFORE_APPLY, CRASH_AFTER_APPLY]
 class Harness:
     """One durable server + client pair with deterministic randomness."""
 
-    def __init__(self, directory, seed="crash", n=6):
+    def __init__(self, directory, seed="crash", n=6, group_commit=False):
         directory.mkdir(exist_ok=True)
         self.image = str(directory / "server.img")
         self.wal_path = str(directory / "server.wal")
-        self.server = CloudServer(wal=CommitLog(self.wal_path))
+        self.server = CloudServer(wal=CommitLog(self.wal_path,
+                                                group_commit=group_commit))
         self.channel = FaultInjectingChannel(self.server, [])
         self.client = AssuredDeletionClient(self.channel,
                                             rng=DeterministicRandom(seed))
@@ -164,7 +165,10 @@ def test_journalled_batch_converges_across_restart(tmp_path, crash):
             h.client.access(1, new_key, victim)
 
 
-def test_every_wal_truncation_point_is_all_or_nothing(tmp_path):
+@pytest.mark.parametrize("group_commit", [False, True],
+                         ids=["per-append", "group-commit"])
+def test_every_wal_truncation_point_is_all_or_nothing(tmp_path,
+                                                      group_commit):
     """Sweep the kill -9 over every byte of the WAL write itself.
 
     A commit crashes after application; its WAL file is then truncated at
@@ -172,8 +176,9 @@ def test_every_wal_truncation_point_is_all_or_nothing(tmp_path):
     leaves).  Recovery from each prefix must yield either the pre-commit
     state (record torn => fully absent) or the applied state (record
     durable => fully applied), and the client's retransmitted commit must
-    converge to the same applied-exactly-once state from both."""
-    h = Harness(tmp_path / "origin", n=5)
+    converge to the same applied-exactly-once state from both.  Group
+    commit must not change the on-disk story at any cut."""
+    h = Harness(tmp_path / "origin", n=5, group_commit=group_commit)
     baseline = snapshot_file(h.server, 1)
     h.schedule([NONE, CRASH_AFTER_APPLY])
     with pytest.raises(ChannelError):
@@ -206,6 +211,76 @@ def test_every_wal_truncation_point_is_all_or_nothing(tmp_path):
         assert final != baseline
         assert recovered.file_state(1).version == 1
         recovered.wal.close()
+
+
+@pytest.mark.parametrize("group_commit", [False, True],
+                         ids=["per-append", "group-commit"])
+def test_append_failure_then_crash_keeps_acknowledged_commits(tmp_path,
+                                                              group_commit):
+    """Injected append failure mid-run: the commit whose fsync failed was
+    never acknowledged, the commits before AND after it were.  Recovery
+    must replay exactly the acknowledged ones -- the torn record cannot
+    be allowed to hide the later appends from the scan."""
+    failures = {"armed": False}
+
+    class _FailingSyncLog(CommitLog):
+        def _sync(self, fileno):
+            if failures["armed"]:
+                failures["armed"] = False
+                raise OSError(28, "No space left on device")
+            super()._sync(fileno)
+
+    directory = tmp_path / "flaky"
+    directory.mkdir()
+    image = str(directory / "server.img")
+    wal_path = str(directory / "server.wal")
+    server = CloudServer(wal=_FailingSyncLog(wal_path,
+                                             group_commit=group_commit))
+    client = AssuredDeletionClient(FaultInjectingChannel(server, []),
+                                   rng=DeterministicRandom("flaky"))
+    key = client.outsource(1, [b"item-%d" % i for i in range(4)])
+    ids = client.item_ids_of(4)
+    checkpoint(server, image)
+
+    client.modify(1, key, ids[0], b"acknowledged-1")
+    failures["armed"] = True
+    with pytest.raises(OSError):
+        client.modify(1, key, ids[1], b"never-acknowledged")
+    client.modify(1, key, ids[2], b"acknowledged-2")  # after the repair
+    expected = snapshot_file(server, 1)
+    server.wal.close()
+
+    recovered = recover_server(image, wal_path)
+    assert snapshot_file(recovered, 1) == expected
+    recovered.wal.close()
+
+
+def test_missing_wal_directory_entry_recovers_from_image(tmp_path):
+    """The lost-directory-entry crash: the WAL file's name never became
+    durable and the file is simply gone after restart.  Recovery must
+    fall back to the checkpoint image, recreate the log (and this time
+    fsync the directory), and keep serving durably."""
+    h = Harness(tmp_path)
+    h.client.modify(1, h.key, h.ids[0], b"checkpointed")
+    checkpoint(h.server, h.image)
+    expected = snapshot_file(h.server, 1)
+    h.server.wal.close()
+    import os
+    os.unlink(h.wal_path)  # the directory entry the crash forgot
+
+    recovered = recover_server(h.image, h.wal_path)
+    assert os.path.exists(h.wal_path)  # recreated, header only
+    assert snapshot_file(recovered, 1) == expected
+    # And the recreated log keeps accepting durable commits.
+    client = AssuredDeletionClient(FaultInjectingChannel(recovered, []),
+                                   rng=DeterministicRandom("post"),
+                                   keystore=h.client.keystore,
+                                   store_keys=False)
+    client.modify(1, h.key, h.ids[1], b"after-recreate")
+    recovered.wal.close()
+    again = recover_server(h.image, h.wal_path)
+    assert snapshot_file(again, 1) == snapshot_file(recovered, 1)
+    again.wal.close()
 
 
 def test_retry_after_checkpoint_answers_from_persisted_cache(tmp_path):
