@@ -1,11 +1,21 @@
 #!/usr/bin/env python
 """CI smoke test for the observability stack.
 
-Starts ``repro-vault serve --durable --metrics-port`` as a subprocess,
-drives a put and an assured deletion over real TCP, forces a request-id
-replay-cache hit with a deliberate duplicate request, scrapes
-``/metrics``, and asserts the WAL-fsync and replay-cache series are
-present and non-zero.
+Starts ``repro-vault serve --durable --audit --trace-export
+--metrics-port`` as a subprocess, drives a put and an assured deletion
+over real TCP, forces a request-id replay-cache hit with a deliberate
+duplicate request, scrapes ``/metrics``, and asserts the WAL-fsync and
+replay-cache series are present and non-zero.  It then checks the
+operational-evidence surface the same serve produced:
+
+* ``/readyz`` answers 200 while the server is healthy;
+* ``repro-vault audit verify`` walks the hash chain the deletion
+  extended (and counts at least one Delete record);
+* the span export contains the deletion's ``server.handle`` span.
+
+The audit log (+ head) and the span file are copied into
+``smoke-artifacts/`` so CI can upload an independently verifiable
+deletion record from every run.
 
 Exits non-zero (with the scrape dumped to stderr) on any failure, so it
 can gate CI directly:
@@ -15,8 +25,10 @@ can gate CI directly:
 
 from __future__ import annotations
 
+import json
 import os
 import re
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -79,8 +91,10 @@ def main() -> int:
     run_cli(workdir, "put", "docs/smoke.txt",
             stdin="alpha\nbeta\ngamma\ndelta\n")
 
+    span_path = os.path.join(workdir, "spans.jsonl")
     serve = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve", "--durable",
+         "--audit", "--trace-export", span_path,
          "--metrics-port", "0"],
         cwd=workdir, env=cli_env(), stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT, text=True)
@@ -117,8 +131,16 @@ def main() -> int:
             second = channel.request(probe)
             assert type(first) is type(second), (first, second)
 
-        url = f"http://{metrics_addr[0]}:{metrics_addr[1]}/metrics"
-        with urllib.request.urlopen(url, timeout=10) as response:
+        base = f"http://{metrics_addr[0]}:{metrics_addr[1]}"
+        with urllib.request.urlopen(base + "/readyz",
+                                    timeout=10) as response:
+            ready = json.loads(response.read().decode("utf-8"))
+            assert response.status == 200, ready
+        assert ready["ready"] is True, ready
+        assert "wal" in ready["checks"], ready
+
+        with urllib.request.urlopen(base + "/metrics",
+                                    timeout=10) as response:
             text = response.read().decode("utf-8")
 
         try:
@@ -134,15 +156,44 @@ def main() -> int:
         assert fsync_count > 0, f"no WAL fsyncs recorded: {fsync_count}"
         assert hits > 0, f"no replay-cache hits recorded: {hits}"
         assert requests > 0, f"no server requests recorded: {requests}"
-        print(f"metrics smoke OK: {int(requests)} requests, "
-              f"{int(fsyncs)} WAL appends, {int(hits)} replay hit(s)")
-        return 0
     finally:
         serve.terminate()
         try:
             serve.wait(timeout=10)
         except subprocess.TimeoutExpired:
             serve.kill()
+
+    # ---- operational evidence, checked after the server is gone -----
+    # (the audit log fsyncs per append and the span export flushes per
+    # record, so both survive the hard stop intact)
+
+    report = json.loads(run_cli(workdir, "audit", "verify"))
+    assert report["ok"] is True, report
+    assert report["records"] > 0, report
+    assert report["deletions"] >= 1, f"deletion not audited: {report}"
+
+    with open(span_path, encoding="utf-8") as handle:
+        spans = [json.loads(line) for line in handle if line.strip()]
+    deletes = [s for s in spans
+               if s.get("name") == "server.handle"
+               and s.get("type") == "DeleteCommit"]
+    assert deletes, f"no server.handle DeleteCommit span exported; " \
+                    f"saw {sorted({s.get('name') for s in spans})}"
+    assert all(len(s["trace_id"]) == 32 for s in deletes)
+
+    # Leave the evidence behind for CI to upload.
+    artifacts = os.path.join(REPO, "smoke-artifacts")
+    os.makedirs(artifacts, exist_ok=True)
+    audit_log = os.path.join(workdir, ".repro-vault", "audit.log")
+    for source in (audit_log, audit_log + ".head", span_path):
+        shutil.copy(source, artifacts)
+
+    print(f"metrics smoke OK: {int(requests)} requests, "
+          f"{int(fsyncs)} WAL appends, {int(hits)} replay hit(s), "
+          f"{report['records']} audit records "
+          f"({report['deletions']} deletions), "
+          f"{len(spans)} spans exported")
+    return 0
 
 
 if __name__ == "__main__":

@@ -22,13 +22,20 @@ Commands::
     repro-vault drop <name>                 # assured whole-file deletion
     repro-vault serve --port 9000           # expose the vault over TCP
     repro-vault serve --port 9000 --durable # crash-safe: WAL + checkpoints
-    repro-vault serve --metrics-port 9100   # + Prometheus /metrics over HTTP
+    repro-vault serve --metrics-port 9100   # + /metrics /healthz /readyz
+                                            #   /statusz over HTTP
     repro-vault serve --max-conns 64        # bound concurrent connections
+    repro-vault serve --audit               # hash-chained deletion audit log
+    repro-vault serve --trace-export spans.jsonl --trace-slow-ms 50
+    repro-vault audit verify                # prove the chain untampered
+    repro-vault audit tail -n 20            # last audit records
     repro-vault stress --seed ci-42         # seeded concurrency stress run
     repro-vault probe <host> <port>         # health-check a served vault
     repro-vault metrics <host> <port>       # scrape a served vault's metrics
     repro-vault trace <name> <position>     # traced read: JSON spans on stdout
-    repro-vault stats
+    repro-vault trace --follow              # tail the span-export file
+    repro-vault stats                       # vault contents summary
+    repro-vault stats <host> <port>         # live ops/s + p50/p95 dashboard
 
 ``--log-json PATH`` (any command) turns observability on and appends the
 structured span/event log to PATH (``-`` streams it to stderr).
@@ -171,7 +178,15 @@ def cmd_drop(vault: Vault, args) -> int:
     return 0
 
 
-def cmd_stats(vault: Vault, _args) -> int:
+def cmd_stats(vault: Vault, args) -> int:
+    if args.host is not None:
+        # Live dashboard mode: scrape a served vault's /metrics on an
+        # interval and print ops/s + delta-derived latency quantiles.
+        if args.port is None:
+            raise ReproError("stats <host> <port> needs both arguments")
+        from repro.obs.statsview import run_stats
+        return run_stats(args.host, args.port, interval=args.interval,
+                         count=args.count)
     vault.load()
     fs = vault.fs
     stats = {
@@ -181,6 +196,39 @@ def cmd_stats(vault: Vault, _args) -> int:
         "client_key_bytes": fs.client_key_bytes(),
     }
     _print(json.dumps(stats, indent=2))
+    return 0
+
+
+def _audit_log_path(vault: Vault, args) -> str:
+    if args.log is not None:
+        return args.log
+    return os.path.join(vault.server_dir, "audit.log")
+
+
+def cmd_audit(vault: Vault, args) -> int:
+    """Verify or tail the tamper-evident deletion audit chain."""
+    from repro.obs import audit as audit_mod
+
+    path = _audit_log_path(vault, args)
+    if args.audit_command == "verify":
+        try:
+            records = audit_mod.verify_log(path,
+                                           require_head=not args.no_head)
+        except audit_mod.AuditError as exc:
+            print(f"audit verify FAILED: {exc}", file=sys.stderr)
+            return 1
+        deletions = sum(1 for r in records
+                        if "Delete" in r.get("op", ""))
+        _print(json.dumps({
+            "ok": True,
+            "records": len(records),
+            "deletions": deletions,
+            "head": records[-1]["hash"] if records else audit_mod.GENESIS,
+        }, indent=2))
+        return 0
+    # tail
+    for record in audit_mod.tail_records(path, args.n):
+        _print(json.dumps(record, sort_keys=True))
     return 0
 
 
@@ -199,6 +247,8 @@ def cmd_serve(vault: Vault, args) -> int:
     else:
         from repro.protocol.tcp import TcpServerHost as host_cls
 
+    from repro.obs.health import HEALTH
+
     metrics_server = None
     if args.metrics_port is not None:
         from repro import obs
@@ -207,6 +257,17 @@ def cmd_serve(vault: Vault, args) -> int:
         metrics_server = obs.start_metrics_server(args.metrics_port)
         _print(f"metrics on http://{metrics_server.address[0]}:"
                f"{metrics_server.address[1]}/metrics")
+
+    if args.trace_export is not None:
+        # Spans only exist with observability on; exporting implies it.
+        from repro import obs
+        from repro.obs import spanexport
+        if not obs.is_enabled():
+            obs.enable(service="repro-vault")
+        spanexport.configure(args.trace_export, sample=args.trace_sample,
+                             slow_ms=args.trace_slow_ms)
+        _print(f"exporting spans to {args.trace_export} "
+               f"(sample={args.trace_sample}, slow_ms={args.trace_slow_ms})")
 
     server = vault.fs.server
     if args.durable:
@@ -222,8 +283,20 @@ def cmd_serve(vault: Vault, args) -> int:
             save_server(server, image)
         server = recover_server(image, wal_path,
                                 group_commit=args.group_commit)
+        HEALTH.register("wal", server.wal.health)
         _print(f"durable state: {image} + {wal_path}"
                + (" (group commit)" if args.group_commit else ""))
+
+    audit_log = None
+    if args.audit:
+        # Attached AFTER recovery so replayed history is not re-recorded;
+        # from here on every mutating request appends one chained record.
+        from repro.obs.audit import AuditLog
+        audit_path = os.path.join(vault.server_dir, "audit.log")
+        audit_log = AuditLog(audit_path)
+        server.attach_audit(audit_log)
+        _print(f"audit trail: {audit_path} "
+               f"(chain at seq {audit_log.seq})")
 
     with host_cls(server, port=args.port,
                   max_conns=args.max_conns) as host:
@@ -235,8 +308,14 @@ def cmd_serve(vault: Vault, args) -> int:
         except KeyboardInterrupt:
             return 0
         finally:
+            # Readiness flips to 503 first so a balancer drains before
+            # the checkpoint starts tearing state down.
+            HEALTH.set_stopping()
             if args.durable:
                 checkpoint(server, image)
+                HEALTH.unregister("wal")
+            if audit_log is not None:
+                audit_log.close()
             if metrics_server is not None:
                 metrics_server.stop()
     return 0
@@ -309,10 +388,34 @@ def cmd_trace(vault: Vault, args) -> int:
 
     The spans (one trace id across the whole read, including the
     two-level key fetch) go to stdout; the record's value goes to stderr
-    so stdout stays machine-parseable.
+    so stdout stays machine-parseable.  ``--follow`` instead tails a
+    span-export file written by ``serve --trace-export`` (new spans
+    stream out as the server finishes them).
     """
     from repro import obs
 
+    if args.follow:
+        import time as _time
+        path = args.file or os.path.join(vault.server_dir, "spans.jsonl")
+        try:
+            with open(path, encoding="utf-8") as handle:
+                while True:
+                    line = handle.readline()
+                    if line:
+                        sys.stdout.write(line)
+                        sys.stdout.flush()
+                    else:
+                        _time.sleep(0.2)
+        except (KeyboardInterrupt, BrokenPipeError):
+            # ctrl-C, or the consumer hung up (`trace --follow | head`)
+            return 0
+        except FileNotFoundError:
+            raise ReproError(
+                f"no span-export file at {path!r}; start the server "
+                f"with --trace-export") from None
+
+    if args.name is None or args.position is None:
+        raise ReproError("trace needs <name> <position> (or --follow)")
     vault.load()
     already_on = obs.is_enabled()
     obs.enable(log_stream=sys.stdout, service="repro-vault")
@@ -373,7 +476,35 @@ def build_parser() -> argparse.ArgumentParser:
     drop = sub.add_parser("drop")
     drop.add_argument("name")
     drop.set_defaults(func=cmd_drop)
-    sub.add_parser("stats").set_defaults(func=cmd_stats)
+    stats_cmd = sub.add_parser(
+        "stats", help="vault stats, or a live ops dashboard when given "
+                      "a served vault's metrics host/port")
+    stats_cmd.add_argument("host", nargs="?", default=None)
+    stats_cmd.add_argument("port", nargs="?", type=int, default=None)
+    stats_cmd.add_argument("--interval", type=float, default=2.0,
+                           help="seconds between dashboard refreshes")
+    stats_cmd.add_argument("--count", type=int, default=None,
+                           help="stop after this many frames "
+                                "(default: run until ctrl-C)")
+    stats_cmd.set_defaults(func=cmd_stats)
+    audit = sub.add_parser(
+        "audit", help="verify or tail the tamper-evident audit chain")
+    audit_sub = audit.add_subparsers(dest="audit_command", required=True)
+    audit_verify = audit_sub.add_parser("verify")
+    audit_verify.add_argument("--log", default=None,
+                              help="audit log path (default: "
+                                   "<server-dir>/audit.log)")
+    audit_verify.add_argument("--no-head", action="store_true",
+                              help="skip the head-anchor check (cannot "
+                                   "then detect a truncated tail)")
+    audit_verify.set_defaults(func=cmd_audit)
+    audit_tail = audit_sub.add_parser("tail")
+    audit_tail.add_argument("--log", default=None,
+                            help="audit log path (default: "
+                                 "<server-dir>/audit.log)")
+    audit_tail.add_argument("-n", type=int, default=10,
+                            help="records to show")
+    audit_tail.set_defaults(func=cmd_audit)
     serve = sub.add_parser("serve")
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--durable", action="store_true",
@@ -391,6 +522,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--group-commit", action="store_true",
                        help="with --durable: coalesce concurrent WAL appends "
                             "into shared write+fsync batches")
+    serve.add_argument("--audit", action="store_true",
+                       help="append a hash-chained audit record for every "
+                            "mutation to <server-dir>/audit.log")
+    serve.add_argument("--trace-export", metavar="PATH", default=None,
+                       help="enable observability and export finished "
+                            "spans to PATH as JSON lines")
+    serve.add_argument("--trace-sample", type=float, default=1.0,
+                       help="fraction of traces to export (deterministic "
+                            "by trace id; default 1.0)")
+    serve.add_argument("--trace-slow-ms", type=float, default=None,
+                       help="always export spans at least this slow, "
+                            "even when sampled out")
     serve.set_defaults(func=cmd_serve)
     stress = sub.add_parser(
         "stress", help="run one seeded concurrency stress iteration")
@@ -416,8 +559,14 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("port", type=int)
     metrics.set_defaults(func=cmd_metrics)
     trace = sub.add_parser("trace")
-    trace.add_argument("name")
-    trace.add_argument("position", type=int)
+    trace.add_argument("name", nargs="?", default=None)
+    trace.add_argument("position", nargs="?", type=int, default=None)
+    trace.add_argument("--follow", action="store_true",
+                       help="tail a span-export file instead of tracing "
+                            "one read")
+    trace.add_argument("--file", default=None,
+                       help="span-export file to follow (default: "
+                            "<server-dir>/spans.jsonl)")
     trace.set_defaults(func=cmd_trace)
     return parser
 

@@ -10,8 +10,15 @@ One subsystem shared by every layer of the deletion protocol:
 * :mod:`repro.obs.metrics` -- counters, gauges, fixed-bucket histograms,
   and Prometheus text rendering; :mod:`repro.obs.instruments` declares
   every exported metric in one place.
-* :mod:`repro.obs.httpd` -- the ``/metrics`` HTTP endpoint (imported
-  lazily; use :func:`start_metrics_server`).
+* :mod:`repro.obs.httpd` -- the ``/metrics`` + ``/healthz`` +
+  ``/readyz`` + ``/statusz`` HTTP surface (imported lazily; use
+  :func:`start_metrics_server`).
+* :mod:`repro.obs.audit` -- the append-only hash-chained deletion audit
+  trail (attached explicitly, independent of the enabled flag).
+* :mod:`repro.obs.spanexport` -- JSON-lines span export with sampling
+  and a slow-span override.
+* :mod:`repro.obs.health` -- named readiness probes backing ``/readyz``.
+* :mod:`repro.obs.statsview` -- scrape parsing + the live CLI dashboard.
 
 Everything is **disabled by default**: call
 :func:`repro.obs.runtime.enable` (also re-exported here) to turn it on.
@@ -20,6 +27,7 @@ costs one attribute check per call site.
 """
 
 from repro.obs import runtime
+from repro.obs.health import HEALTH, HealthRegistry
 from repro.obs.metrics import (LATENCY_BUCKETS, REGISTRY, Counter, Gauge,
                                Histogram, MetricsRegistry,
                                render_prometheus)
@@ -32,6 +40,7 @@ __all__ = [
     "TraceContext", "current", "span", "trace_scope", "log_event",
     "REGISTRY", "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "LATENCY_BUCKETS", "render_prometheus", "start_metrics_server",
+    "HEALTH", "HealthRegistry",
 ]
 
 

@@ -1,0 +1,303 @@
+"""Tamper-evident deletion audit trail: an append-only hash chain.
+
+The paper promises *assured* deletion, but assurance that dies with the
+process is not evidence: an operator (or a regulator) asking "who
+deleted what, when, and under which tree version?" needs a durable
+record that a compromised or careless server cannot silently rewrite.
+This module provides the dependency-free version of the signed-tombstone
+/ verifiable-deletion story: every mutating request the server applies
+is appended to a JSON-lines log whose records are SHA-256 hash-chained,
+fsync'd, and anchored by a sidecar *head* file, so after the fact
+
+* a **flipped byte** anywhere breaks that record's hash;
+* a **spliced-out record** breaks its successor's ``prev`` link (and the
+  sequence numbering);
+* a **truncated tail** leaves the head file pointing past the end of the
+  log.
+
+Record format (one JSON object per line, keys sorted)::
+
+    seq             u64     1-based position in the chain
+    ts              float   seconds since the epoch
+    op              str     message type name (DeleteCommit, ...)
+    request_id      int     protocol idempotency id (0 = none)
+    trace_id        str?    32 hex chars when the request carried a trace
+    file_id         int?    target file
+    items           [int]   item ids the request names (deletions, ...)
+    version_before  int?    tree version before the request applied
+    version_after   int?    tree version after
+    ok              bool    false when the handler answered ErrorReply
+    code            int?    ErrorReply code when not ok
+    prev            str     hex SHA-256 of the previous record (or genesis)
+    hash            str     hex SHA-256 over ``prev || canonical record``
+
+The hash covers the canonical serialisation of every field except
+``hash`` itself, prefixed with the previous record's hash, so the log is
+a classic hash chain.  The head file (``<log>.head``) holds the sequence
+number and hash of the last acknowledged record and is atomically
+replaced on every append; a verifier that trusts the head (kept on
+separate storage, mirrored, or compared out of band) detects tail
+truncation, which a bare chain cannot.
+
+Appends are fsync'd by default (``sync="always"``); ``sync="off"``
+skips the barriers for benchmarking the CPU cost of the chain itself.
+The audit log is attached explicitly (``CloudServer.attach_audit`` /
+``repro-vault serve --audit``) and is independent of the global
+observability switch -- evidence should not vanish because metrics were
+off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from typing import Iterator, Optional
+
+from repro.core.errors import ReproError
+
+#: ``prev`` of the first record in a chain.
+GENESIS = "0" * 64
+
+#: Fields every record must carry (beyond these, extras are allowed and
+#: covered by the hash like everything else).
+REQUIRED_FIELDS = ("seq", "ts", "op", "prev", "hash")
+
+
+class AuditError(ReproError):
+    """The audit chain failed verification (tampering or corruption)."""
+
+
+def head_path_for(path: str) -> str:
+    """The sidecar head file anchoring ``path``'s chain tail."""
+    return path + ".head"
+
+
+def _canonical(record: dict) -> bytes:
+    """The byte string a record's hash covers (everything but ``hash``)."""
+    body = {key: value for key, value in record.items() if key != "hash"}
+    return json.dumps(body, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def chain_hash(prev: str, record: dict) -> str:
+    """SHA-256 over the previous hash and the record's canonical bytes."""
+    return hashlib.sha256(prev.encode("ascii")
+                          + _canonical(record)).hexdigest()
+
+
+class AuditLog:
+    """Append-only hash-chained audit log with a durable head anchor.
+
+    Opening an existing log scans it to recover the chain position; a
+    torn final line that the head does not acknowledge (the crash landed
+    mid-append) is truncated away, exactly like a torn WAL record.
+    ``append`` assigns ``seq``/``ts``/``prev``/``hash``, writes the
+    line, fsyncs it, and atomically replaces the head file before
+    returning -- an acknowledged record is both durable and anchored.
+    """
+
+    def __init__(self, path: str, *, sync: str = "always") -> None:
+        if sync not in ("always", "off"):
+            raise ValueError(f"unknown sync mode {sync!r}")
+        self.path = path
+        self.head_path = head_path_for(path)
+        self.sync = sync
+        self._lock = threading.Lock()
+        self._seq, self._head_hash = self._recover()
+        self._handle = open(path, "a", encoding="utf-8")
+
+    # -- opening ---------------------------------------------------------
+
+    def _recover(self) -> tuple[int, str]:
+        """Find the chain tail, truncating an unacknowledged torn line."""
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return 0, GENESIS
+        if not data:
+            return 0, GENESIS
+        good_end = 0
+        seq, head = 0, GENESIS
+        pos = 0
+        while pos < len(data):
+            newline = data.find(b"\n", pos)
+            if newline < 0:
+                break  # torn final line (no terminator)
+            line = data[pos:newline]
+            try:
+                record = json.loads(line)
+                seq = int(record["seq"])
+                head = str(record["hash"])
+            except (ValueError, KeyError, TypeError):
+                break  # unparseable: treat as torn from here on
+            pos = newline + 1
+            good_end = pos
+        head_record = read_head(self.head_path)
+        if good_end < len(data):
+            if head_record is not None and head_record[0] > seq:
+                raise AuditError(
+                    f"audit log {self.path!r} ends torn at record {seq} "
+                    f"but its head acknowledges {head_record[0]}")
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_end)
+                handle.flush()
+                if self.sync == "always":
+                    os.fsync(handle.fileno())
+        return seq, head
+
+    # -- appending -------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the last appended record (0 = empty)."""
+        return self._seq
+
+    def append(self, record: dict) -> dict:
+        """Chain, persist, and anchor one record; returns it completed.
+
+        ``seq``/``ts``/``prev``/``hash`` are assigned here; the caller
+        provides the audit payload (op, ids, versions, outcome).
+        """
+        start = time.perf_counter()
+        with self._lock:
+            entry = dict(record)
+            entry["seq"] = self._seq + 1
+            entry.setdefault("ts", time.time())
+            entry["prev"] = self._head_hash
+            entry["hash"] = chain_hash(self._head_hash, entry)
+            line = json.dumps(entry, sort_keys=True,
+                              separators=(",", ":"))
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if self.sync == "always":
+                os.fsync(self._handle.fileno())
+            self._write_head(entry["seq"], entry["hash"])
+            self._seq = entry["seq"]
+            self._head_hash = entry["hash"]
+        from repro.obs import runtime as obs
+        if obs.enabled:
+            from repro.obs import instruments as ins
+            ins.AUDIT_RECORDS.inc()
+            ins.AUDIT_APPEND_SECONDS.observe(time.perf_counter() - start)
+        return entry
+
+    def _write_head(self, seq: int, digest: str) -> None:
+        """Atomically replace the head anchor (write temp, fsync, rename)."""
+        tmp = self.head_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"seq": seq, "hash": digest}, handle,
+                      sort_keys=True, separators=(",", ":"))
+            handle.write("\n")
+            handle.flush()
+            if self.sync == "always":
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.head_path)
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "AuditLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------
+# Reading and verification
+# ---------------------------------------------------------------------
+
+def read_head(head_path: str) -> Optional[tuple[int, str]]:
+    """The (seq, hash) anchor, or ``None`` when no head file exists."""
+    try:
+        with open(head_path, encoding="utf-8") as handle:
+            head = json.load(handle)
+        return int(head["seq"]), str(head["hash"])
+    except FileNotFoundError:
+        return None
+    except (ValueError, KeyError, TypeError) as exc:
+        raise AuditError(f"audit head {head_path!r} is unreadable: {exc}")
+
+
+def iter_records(path: str) -> Iterator[dict]:
+    """Yield raw records (no chain checks; see :func:`verify_log`)."""
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except ValueError as exc:
+                raise AuditError(
+                    f"audit log {path!r} line {lineno} is not valid "
+                    f"JSON: {exc}")
+
+
+def verify_log(path: str, head_path: Optional[str] = None, *,
+               require_head: bool = True) -> list[dict]:
+    """Verify the whole chain; return its records or raise AuditError.
+
+    Checks, in order: every line parses and carries the required
+    fields; sequence numbers run 1..N without gaps; each record's
+    ``prev`` equals its predecessor's ``hash`` (genesis first); each
+    ``hash`` recomputes from its content; and -- unless ``require_head``
+    is off -- the head anchor names a record that exists with the same
+    hash, so a truncated tail cannot masquerade as a shorter valid log.
+    """
+    if head_path is None:
+        head_path = head_path_for(path)
+    records: list[dict] = []
+    prev = GENESIS
+    for record in iter_records(path):
+        index = len(records) + 1
+        missing = [f for f in REQUIRED_FIELDS if f not in record]
+        if missing:
+            raise AuditError(
+                f"record {index} is missing fields {missing}")
+        if record["seq"] != index:
+            raise AuditError(
+                f"sequence break at record {index}: found seq "
+                f"{record['seq']} (a record was spliced out or "
+                f"reordered)")
+        if record["prev"] != prev:
+            raise AuditError(
+                f"chain break at record {index}: prev {record['prev']!r} "
+                f"does not match the preceding hash {prev!r}")
+        expected = chain_hash(prev, record)
+        if record["hash"] != expected:
+            raise AuditError(
+                f"hash mismatch at record {index}: content was altered")
+        prev = record["hash"]
+        records.append(record)
+
+    head = read_head(head_path)
+    if head is None:
+        if require_head and records:
+            raise AuditError(
+                f"audit head {head_path!r} is missing; cannot rule out "
+                f"a truncated tail")
+    else:
+        head_seq, head_hash = head
+        if head_seq > len(records):
+            raise AuditError(
+                f"truncated tail: head acknowledges record {head_seq} "
+                f"but the log ends at {len(records)}")
+        if head_seq >= 1 and records[head_seq - 1]["hash"] != head_hash:
+            raise AuditError(
+                f"head anchor mismatch at record {head_seq}: the "
+                f"anchored hash does not match the log")
+    return records
+
+
+def tail_records(path: str, count: int = 10) -> list[dict]:
+    """The last ``count`` raw records (for ``repro-vault audit tail``)."""
+    records = list(iter_records(path))
+    return records[-count:] if count > 0 else []

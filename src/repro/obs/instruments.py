@@ -155,6 +155,48 @@ OP_RETRIES = REGISTRY.counter(
     ("op",))
 
 # ---------------------------------------------------------------------
+# Audit trail (tamper-evident deletion evidence)
+# ---------------------------------------------------------------------
+
+AUDIT_RECORDS = REGISTRY.counter(
+    "repro_audit_records_total",
+    "Records appended to the hash-chained audit log")
+AUDIT_APPEND_SECONDS = REGISTRY.histogram(
+    "repro_audit_append_seconds",
+    "Latency of one audit append (chain hash + write + fsync + head)",
+    (), DISK_BUCKETS)
+
+# ---------------------------------------------------------------------
+# Span export
+# ---------------------------------------------------------------------
+
+SPANS_EXPORTED = REGISTRY.counter(
+    "repro_spans_exported_total",
+    "Spans written to the JSON-lines span-export file, by reason",
+    ("reason",))
+SPANS_DROPPED = REGISTRY.counter(
+    "repro_spans_dropped_total",
+    "Finished spans not exported (sampled out or exporter failed)",
+    ("reason",))
+
+# ---------------------------------------------------------------------
+# Runtime depth gauges (async loop, executor, group commit, replay)
+# ---------------------------------------------------------------------
+
+AIO_LOOP_LAG_SECONDS = REGISTRY.gauge(
+    "repro_aio_loop_lag_seconds",
+    "Scheduling delay of the async host's event loop (monitor probe)")
+AIO_EXECUTOR_QUEUE = REGISTRY.gauge(
+    "repro_aio_executor_queue_depth",
+    "Dispatch jobs waiting for a worker thread in the async host pool")
+WAL_GROUP_QUEUE = REGISTRY.gauge(
+    "repro_wal_group_commit_queue_depth",
+    "Appends waiting for the group-commit committer thread")
+REPLAY_CACHE_SIZE = REGISTRY.gauge(
+    "repro_replay_cache_size",
+    "Entries in the request-id idempotency reply cache")
+
+# ---------------------------------------------------------------------
 # Hot-path caches (client chain cache, server view/encode cache)
 # ---------------------------------------------------------------------
 

@@ -118,9 +118,15 @@ class Gauge(Metric):
         self._values: dict[tuple, float] = {}
 
     def set(self, value: float, **labels) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            # A NaN/Inf sample would poison the exposition output (and
+            # every PromQL expression touching it); drop it silently --
+            # gauges are best-effort snapshots, not ledgers.
+            return
         key = self._key(labels)
         with self._lock:
-            self._values[key] = float(value)
+            self._values[key] = value
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         key = self._key(labels)
@@ -161,6 +167,10 @@ class Histogram(Metric):
         self._series: dict[tuple, list] = {}
 
     def observe(self, value: float, **labels) -> None:
+        if not math.isfinite(value):
+            # NaN corrupts _sum forever (NaN + x = NaN) and +/-Inf makes
+            # the rendered _sum unusable; ignore such samples outright.
+            return
         key = self._key(labels)
         index = bisect.bisect_left(self.buckets, value)
         with self._lock:

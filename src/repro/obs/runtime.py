@@ -43,11 +43,12 @@ def enable(log_path: Optional[str] = None,
 
 
 def disable() -> None:
-    """Turn observability off and detach the log sink."""
+    """Turn observability off; detach the log sink and span exporter."""
     global enabled
     enabled = False
-    from repro.obs import logs
+    from repro.obs import logs, spanexport
     logs.configure(path=None, stream=None)
+    spanexport.detach()
 
 
 def is_enabled() -> bool:

@@ -1,0 +1,138 @@
+"""JSON-lines span export: traces that survive the process.
+
+The in-memory span log (:mod:`repro.obs.logs`) is great interactively
+but dies with the process; operators diagnosing yesterday's slow delete
+need the ``fs.*`` -> ``rpc.request`` -> ``server.handle`` trees on disk.
+This module attaches a process-wide exporter that appends every
+*selected* finished span to a JSON-lines file:
+
+* **Head-based sampling**: the decision is a deterministic function of
+  the trace id (first 8 bytes as a u64, compared against the sample
+  rate), so a whole trace tree is exported or skipped together even
+  though its spans finish independently on both sides of the wire.
+* **Slow-span override**: spans at or above ``slow_ms`` are always
+  exported (reason ``slow``) regardless of sampling -- the tail is the
+  part worth keeping.
+
+Each line is the same record a span emits to the log sink (name, trace
+and span ids, parent, duration, status, attributes) plus an ``export``
+field naming why it was kept.  Writes are line-buffered and append-only
+so ``repro-vault trace --follow`` can tail the file live.
+
+Exporting is configured explicitly (``serve --trace-export PATH``) and
+torn down by :func:`repro.obs.runtime.disable`; with no exporter
+attached the per-span cost is one module attribute load.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import IO, Optional
+
+#: The attached exporter, or None.  Read via :func:`active` on the span
+#: hot path; rebind only through :func:`configure` / :func:`detach`.
+_exporter: Optional["SpanExporter"] = None
+
+#: Denominator of the sampling hash: first 8 trace-id bytes as a u64.
+_SAMPLE_SPACE = float(2 ** 64)
+
+
+class SpanExporter:
+    """Appends sampled/slow span records to a JSON-lines file."""
+
+    def __init__(self, path: Optional[str] = None, *,
+                 stream: Optional[IO[str]] = None,
+                 sample: float = 1.0,
+                 slow_ms: Optional[float] = None) -> None:
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError("sample rate must be within [0, 1]")
+        if path is None and stream is None:
+            raise ValueError("span exporter needs a path or a stream")
+        self.path = path
+        self.sample = sample
+        self.slow_ms = slow_ms
+        self._lock = threading.Lock()
+        self._owns_handle = stream is None
+        self._handle: IO[str] = (open(path, "a", encoding="utf-8")
+                                 if stream is None else stream)
+
+    # -- selection -------------------------------------------------------
+
+    def sampled(self, trace_id_hex: str) -> bool:
+        """Deterministic head-based decision shared by a whole trace."""
+        if self.sample >= 1.0:
+            return True
+        if self.sample <= 0.0:
+            return False
+        try:
+            head = int(trace_id_hex[:16], 16)
+        except ValueError:
+            return False
+        return head / _SAMPLE_SPACE < self.sample
+
+    def reason_for(self, record: dict) -> Optional[str]:
+        """Why this record should be exported, or None to drop it."""
+        if self.slow_ms is not None and \
+                record.get("duration_ms", 0.0) >= self.slow_ms:
+            return "slow"
+        if self.sampled(record.get("trace_id", "")):
+            return "sampled"
+        return None
+
+    # -- writing ---------------------------------------------------------
+
+    def export(self, record: dict) -> None:
+        """Apply the selection policy and append the record if it wins."""
+        from repro.obs import instruments as ins
+        reason = self.reason_for(record)
+        if reason is None:
+            ins.SPANS_DROPPED.inc(reason="unsampled")
+            return
+        entry = dict(record)
+        entry["export"] = reason
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        try:
+            with self._lock:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+        except (OSError, ValueError):
+            # A full disk or closed handle must never take the traced
+            # operation down with it; spans are telemetry, not state.
+            ins.SPANS_DROPPED.inc(reason="error")
+            return
+        ins.SPANS_EXPORTED.inc(reason=reason)
+
+    def close(self) -> None:
+        if self._owns_handle:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+
+
+def active() -> Optional[SpanExporter]:
+    """The attached exporter (span hot path; one attribute load)."""
+    return _exporter
+
+
+def configure(path: Optional[str] = None, *,
+              stream: Optional[IO[str]] = None,
+              sample: float = 1.0,
+              slow_ms: Optional[float] = None) -> SpanExporter:
+    """Attach a process-wide exporter, replacing any previous one."""
+    global _exporter
+    exporter = SpanExporter(path, stream=stream, sample=sample,
+                            slow_ms=slow_ms)
+    previous, _exporter = _exporter, exporter
+    if previous is not None:
+        previous.close()
+    return exporter
+
+
+def detach() -> None:
+    """Detach and close the exporter (no-op when none is attached)."""
+    global _exporter
+    previous, _exporter = _exporter, None
+    if previous is not None:
+        previous.close()

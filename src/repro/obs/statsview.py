@@ -1,0 +1,235 @@
+"""Live terminal ops view over a served vault's ``/metrics`` endpoint.
+
+``repro-vault stats <host> <port>`` scrapes the Prometheus text
+exposition on an interval and renders the *rates* hiding in the
+monotonic counters: ops/s by request type, error rate, WAL fsyncs/s,
+and latency quantiles (p50/p95) interpolated from the
+``repro_server_handle_seconds`` histogram bucket **deltas** -- i.e. the
+latency of the traffic seen this interval, not since process start.
+
+Everything here works on parsed samples, so the same functions power the
+CLI dashboard and the tests (no terminal required): :func:`scrape` +
+:func:`parse_prometheus` produce a snapshot, :func:`quantile_from_deltas`
+does the standard Prometheus ``histogram_quantile`` linear
+interpolation, and :func:`render_dashboard` formats one frame.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import urllib.request
+from typing import Mapping, Optional, Sequence
+
+#: A parsed exposition: {(metric_name, ((label, value), ...)): sample}.
+Snapshot = Mapping[tuple, float]
+
+
+def parse_prometheus(text: str) -> dict[tuple, float]:
+    """Parse text exposition (0.0.4) into ``{(name, labels): value}``.
+
+    Labels become a sorted tuple of ``(name, value)`` pairs so samples
+    compare across scrapes.  Histogram ``_bucket``/``_sum``/``_count``
+    series appear under their suffixed names.
+    """
+    samples: dict[tuple, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            continue
+        try:
+            value = float(value_part)
+        except ValueError:
+            continue
+        labels: tuple = ()
+        name = name_part
+        if "{" in name_part:
+            name, _, rest = name_part.partition("{")
+            rest = rest.rstrip("}")
+            pairs = []
+            for item in _split_labels(rest):
+                label, _, raw = item.partition("=")
+                pairs.append((label, raw.strip('"')
+                              .replace('\\"', '"').replace("\\\\", "\\")))
+            labels = tuple(sorted(pairs))
+        samples[(name, labels)] = value
+    return samples
+
+
+def _split_labels(body: str) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    out, current, in_quotes, escaped = [], [], False, False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+        elif char == "\\":
+            current.append(char)
+            escaped = True
+        elif char == '"':
+            current.append(char)
+            in_quotes = not in_quotes
+        elif char == "," and not in_quotes:
+            out.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        out.append("".join(current))
+    return out
+
+
+def scrape(host: str, port: int, timeout: float = 10.0) -> dict[tuple, float]:
+    """One parsed scrape of ``http://host:port/metrics``."""
+    url = f"http://{host}:{port}/metrics"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return parse_prometheus(response.read().decode("utf-8"))
+
+
+# ---------------------------------------------------------------------
+# Delta arithmetic
+# ---------------------------------------------------------------------
+
+def sum_by_name(snapshot: Snapshot, name: str) -> float:
+    """Sum a counter family over every label combination."""
+    return sum(value for (metric, _labels), value in snapshot.items()
+               if metric == name)
+
+
+def rate(prev: Snapshot, curr: Snapshot, name: str,
+         interval: float) -> float:
+    """Per-second increase of a counter family across two scrapes."""
+    if interval <= 0:
+        return 0.0
+    delta = sum_by_name(curr, name) - sum_by_name(prev, name)
+    return max(0.0, delta) / interval
+
+
+def rates_by_label(prev: Snapshot, curr: Snapshot, name: str,
+                   label: str, interval: float) -> dict[str, float]:
+    """Per-second increases keyed by one label's values (e.g. type)."""
+    totals: dict[str, float] = {}
+    for sign, snapshot in ((1.0, curr), (-1.0, prev)):
+        for (metric, labels), value in snapshot.items():
+            if metric != name:
+                continue
+            key = dict(labels).get(label, "")
+            totals[key] = totals.get(key, 0.0) + sign * value
+    if interval <= 0:
+        return {key: 0.0 for key in totals}
+    return {key: max(0.0, delta) / interval
+            for key, delta in totals.items()}
+
+
+def bucket_deltas(prev: Snapshot, curr: Snapshot,
+                  name: str) -> list[tuple[float, float]]:
+    """Cumulative ``le`` bucket deltas of ``name`` summed over labels.
+
+    Returns ``[(upper_bound, cumulative_delta)]`` sorted by bound with
+    ``+Inf`` last -- the input :func:`quantile_from_deltas` expects.
+    """
+    totals: dict[float, float] = {}
+    bucket_name = name + "_bucket"
+    for sign, snapshot in ((1.0, curr), (-1.0, prev)):
+        for (metric, labels), value in snapshot.items():
+            if metric != bucket_name:
+                continue
+            le = dict(labels).get("le")
+            if le is None:
+                continue
+            bound = math.inf if le == "+Inf" else float(le)
+            totals[bound] = totals.get(bound, 0.0) + sign * value
+    return sorted((bound, max(0.0, delta))
+                  for bound, delta in totals.items())
+
+
+def quantile_from_deltas(buckets: Sequence[tuple[float, float]],
+                         q: float) -> Optional[float]:
+    """``histogram_quantile``-style interpolation over bucket deltas.
+
+    ``buckets`` holds cumulative counts per upper bound (``+Inf`` last).
+    Returns None when no observations landed in the window.  Within the
+    winning bucket the value interpolates linearly from the previous
+    bound; a quantile in the ``+Inf`` bucket reports the last finite
+    bound (Prometheus's convention).
+    """
+    if not buckets or not 0.0 <= q <= 1.0:
+        return None
+    total = buckets[-1][1]
+    if total <= 0:
+        return None
+    target = q * total
+    lower_bound = 0.0
+    lower_count = 0.0
+    for bound, cumulative in buckets:
+        if cumulative >= target:
+            if math.isinf(bound):
+                return lower_bound
+            if cumulative == lower_count:
+                return bound
+            fraction = (target - lower_count) / (cumulative - lower_count)
+            return lower_bound + (bound - lower_bound) * fraction
+        lower_bound, lower_count = bound, cumulative
+    return lower_bound
+
+
+# ---------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------
+
+def render_dashboard(prev: Snapshot, curr: Snapshot,
+                     interval: float) -> str:
+    """Format one dashboard frame from two consecutive scrapes."""
+    req_rates = rates_by_label(prev, curr, "repro_server_requests_total",
+                               "type", interval)
+    total_rate = sum(req_rates.values())
+    error_rate = rate(prev, curr, "repro_server_errors_total", interval)
+    fsync_rate = rate(prev, curr, "repro_wal_fsync_seconds_count",
+                      interval)
+    deltas = bucket_deltas(prev, curr, "repro_server_handle_seconds")
+    p50 = quantile_from_deltas(deltas, 0.50)
+    p95 = quantile_from_deltas(deltas, 0.95)
+
+    def _ms(value: Optional[float]) -> str:
+        return "--" if value is None else f"{value * 1e3:.2f}ms"
+
+    lines = [
+        time.strftime("-- repro-vault stats -- %H:%M:%S "),
+        f"ops/s      {total_rate:8.1f}   errors/s {error_rate:8.1f}   "
+        f"wal fsync/s {fsync_rate:8.1f}",
+        f"handle p50 {_ms(p50):>10}   p95      {_ms(p95):>10}",
+    ]
+    busy = {op: ops for op, ops in req_rates.items() if ops > 0}
+    for op in sorted(busy, key=busy.get, reverse=True):
+        lines.append(f"  {op:<24} {busy[op]:8.1f}/s")
+    if not busy:
+        lines.append("  (no traffic this interval)")
+    inflight = sum_by_name(curr, "repro_tcp_inflight_connections")
+    replay = sum_by_name(curr, "repro_replay_cache_size")
+    lines.append(f"conns inflight {inflight:.0f}   "
+                 f"replay-cache {replay:.0f}")
+    return "\n".join(lines)
+
+
+def run_stats(host: str, port: int, *, interval: float = 2.0,
+              count: Optional[int] = None, out=None) -> int:
+    """Scrape-and-render loop (``count=None`` runs until ctrl-C)."""
+    import sys
+    if out is None:
+        out = sys.stdout
+    prev = scrape(host, port)
+    frames = 0
+    try:
+        while count is None or frames < count:
+            time.sleep(interval)
+            curr = scrape(host, port)
+            out.write(render_dashboard(prev, curr, interval) + "\n\n")
+            out.flush()
+            prev = curr
+            frames += 1
+    except KeyboardInterrupt:
+        pass
+    return 0

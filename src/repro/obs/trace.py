@@ -22,7 +22,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.obs import logs, runtime
+from repro.obs import logs, runtime, spanexport
 
 
 @dataclass(frozen=True)
@@ -102,6 +102,9 @@ class Span:
             record["error"] = f"{exc_type.__name__}: {exc}"
         record.update(self.attrs)
         logs.emit(record)
+        exporter = spanexport.active()
+        if exporter is not None:
+            exporter.export(record)
         return False
 
 

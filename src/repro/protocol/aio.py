@@ -45,10 +45,12 @@ import os
 import socket
 import struct
 import threading
+import time
 from typing import Optional
 
 from repro.core.errors import ProtocolError
 from repro.obs import runtime as obs
+from repro.obs.health import HEALTH
 from repro.obs.trace import log_event
 from repro.protocol.channel import Channel
 from repro.protocol.faults import ChannelError
@@ -61,6 +63,12 @@ _LENGTH = struct.Struct(">I")
 _TAG = struct.Struct(">Q")
 #: Top bit of the length word: set = tagged (pipelined) frame.
 TAG_FLAG = 0x80000000
+
+#: Period of the host's heartbeat task.  Each beat measures how late the
+#: loop woke (scheduling lag -- THE async saturation signal) and samples
+#: the executor queue depth; the ``/readyz`` probe calls the loop
+#: unresponsive when beats stop arriving for several periods.
+MONITOR_INTERVAL = 0.25
 
 logger = logging.getLogger(__name__)
 
@@ -235,6 +243,9 @@ class AsyncTcpServerHost:
         self._conn_writers: set[asyncio.StreamWriter] = set()
         self._conn_slots: asyncio.Semaphore | None = None
         self._started = False
+        self._monitor_task: asyncio.Task | None = None
+        self._last_beat = 0.0
+        self._loop_lag = 0.0
 
     def _make_socket(self) -> socket.socket:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -263,6 +274,7 @@ class AsyncTcpServerHost:
         asyncio.run_coroutine_threadsafe(
             self._startup(), self._loop).result(timeout=10.0)
         self._started = True
+        HEALTH.register(self._health_name, self.health)
         return self
 
     def _run_loop(self) -> None:
@@ -279,6 +291,39 @@ class AsyncTcpServerHost:
             self._conn_slots = asyncio.Semaphore(self.max_conns)
         self._server = await asyncio.start_server(self._on_connect,
                                                   sock=self._sock)
+        self._last_beat = time.monotonic()
+        self._monitor_task = asyncio.ensure_future(self._monitor())
+
+    async def _monitor(self) -> None:
+        """Heartbeat: loop scheduling lag + executor queue depth."""
+        loop = asyncio.get_running_loop()
+        while True:
+            before = loop.time()
+            await asyncio.sleep(MONITOR_INTERVAL)
+            self._loop_lag = max(0.0,
+                                 loop.time() - before - MONITOR_INTERVAL)
+            self._last_beat = time.monotonic()
+            if obs.enabled:
+                from repro.obs import instruments as ins
+                ins.AIO_LOOP_LAG_SECONDS.set(self._loop_lag)
+                pool = self._pool
+                if pool is not None:
+                    # Stdlib-private but stable: jobs not yet picked up
+                    # by a worker thread.
+                    ins.AIO_EXECUTOR_QUEUE.set(pool._work_queue.qsize())
+
+    @property
+    def _health_name(self) -> str:
+        return f"aio-loop:{self._bind_address[1]}"
+
+    def health(self) -> tuple[bool, str]:
+        """Readiness probe: is the event loop still scheduling work?"""
+        if not self._started:
+            return False, "host is stopped"
+        age = time.monotonic() - self._last_beat
+        if age > max(8 * MONITOR_INTERVAL, 2.0):
+            return False, f"event loop unresponsive for {age:.1f}s"
+        return True, f"loop lag {self._loop_lag * 1e3:.2f}ms"
 
     async def _on_connect(self, reader: asyncio.StreamReader,
                           writer: asyncio.StreamWriter) -> None:
@@ -318,6 +363,7 @@ class AsyncTcpServerHost:
         if not self._started:
             return
         assert self._loop is not None and self._thread is not None
+        HEALTH.unregister(self._health_name)
         try:
             asyncio.run_coroutine_threadsafe(
                 self._shutdown(grace),
@@ -338,10 +384,13 @@ class AsyncTcpServerHost:
             self._conn_tasks = set()
             self._conn_writers = set()
             self._conn_slots = None
+            self._monitor_task = None
             self._started = False
 
     async def _shutdown(self, grace: float) -> None:
         assert self._server is not None
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
         self._server.close()
         await self._server.wait_closed()
 

@@ -27,6 +27,7 @@ from repro.core.errors import ReproError, SimulatedCrash, UnknownItemError
 from repro.core.params import Params
 from repro.core.tree import LINK, ModulationTree, WriteLog
 from repro.obs import runtime as obs
+from repro.obs.trace import current as current_trace
 from repro.obs.trace import log_event, span, trace_scope
 from repro.protocol import messages as msg
 from repro.protocol.wire import WireContext
@@ -94,11 +95,13 @@ class CloudServer:
     #: the cold path.
     view_cache_enabled = True
 
-    def __init__(self, params: Params | None = None, wal=None) -> None:
+    def __init__(self, params: Params | None = None, wal=None,
+                 audit=None) -> None:
         self.params = params if params is not None else Params()
         self.ctx = WireContext(modulator_width=self.params.modulator_size)
         self._files: dict[int, ServerFile] = {}
         self.wal = wal
+        self.audit = audit
         #: request_id -> reply produced when it was first applied.
         self._applied: OrderedDict[int, msg.Message] = OrderedDict()
         self._crash_point: Optional[str] = None
@@ -133,6 +136,10 @@ class CloudServer:
         state = self.__dict__.copy()
         for name in self._UNPICKLED:
             state.pop(name, None)
+        # Open log handles cannot travel in a snapshot; a restored server
+        # re-attaches its WAL/audit sinks explicitly.
+        state["wal"] = None
+        state["audit"] = None
         return state
 
     def __setstate__(self, state) -> None:
@@ -146,6 +153,17 @@ class CloudServer:
     def attach_wal(self, wal) -> None:
         """Start write-ahead logging mutating requests to ``wal``."""
         self.wal = wal
+
+    def attach_audit(self, audit) -> None:
+        """Start emitting tamper-evident audit records for mutations.
+
+        ``audit`` is an :class:`~repro.obs.audit.AuditLog` (anything with
+        an ``append(dict)`` method works).  Every mutating request that
+        reaches its handler -- applied or rejected -- is recorded under
+        the file's lock, so per-file audit order equals apply order and
+        matches the WAL record order exactly.
+        """
+        self.audit = audit
 
     def arm_crash(self, point: str) -> None:
         """Arm a one-shot simulated crash (fault-injection testing)."""
@@ -178,6 +196,9 @@ class CloudServer:
             self._applied[request_id] = reply
             while len(self._applied) > self.REPLAY_CACHE_LIMIT:
                 self._applied.popitem(last=False)
+            if obs.enabled:
+                from repro.obs import instruments as ins
+                ins.REPLAY_CACHE_SIZE.set(len(self._applied))
 
     # ------------------------------------------------------------------
     # Transport entry points
@@ -272,9 +293,29 @@ class CloudServer:
                         # apply order for each file.
                         self.wal.append(msg.encode_message(self.ctx, request))
                     self._fire_crash(CRASH_POINT_BEFORE_APPLY)
-                reply = handler(request)
-                if mutating:
-                    self._fire_crash(CRASH_POINT_AFTER_APPLY)
+                audited = mutating and self.audit is not None
+                version_before = self._version_of(request) if audited else None
+                # Handler failures are converted to ErrorReply HERE,
+                # inside the lock scope, so the audit record of a
+                # rejected mutation is emitted in apply order too (the
+                # WAL already holds the request either way).
+                try:
+                    reply = handler(request)
+                except SimulatedCrash:
+                    raise
+                except UnknownItemError as exc:
+                    reply = msg.ErrorReply(code=msg.E_UNKNOWN_ITEM,
+                                           detail=str(exc),
+                                           request_id=request_id)
+                except ReproError as exc:
+                    reply = msg.ErrorReply(code=msg.E_BAD_REQUEST,
+                                           detail=str(exc),
+                                           request_id=request_id)
+                else:
+                    if mutating:
+                        self._fire_crash(CRASH_POINT_AFTER_APPLY)
+                if audited:
+                    self._emit_audit(request, reply, version_before)
         except SimulatedCrash:
             raise
         except UnknownItemError as exc:
@@ -286,6 +327,45 @@ class CloudServer:
         if request_id:
             self._remember_applied(request_id, reply)
         return reply
+
+    # ------------------------------------------------------------------
+    # Audit trail
+    # ------------------------------------------------------------------
+
+    def _version_of(self, request: msg.Message) -> Optional[int]:
+        file_id = getattr(request, "file_id", None)
+        if file_id is None:
+            return None
+        state = self._files.get(file_id)
+        return None if state is None else state.version
+
+    def _emit_audit(self, request: msg.Message, reply: msg.Message,
+                    version_before: Optional[int]) -> None:
+        """Append one chained audit record (file lock held).
+
+        Runs under the same lock scope as the apply, so the audit log's
+        per-file record order is exactly the apply order (and therefore
+        the WAL order) -- the property the stress harness verifies.
+        """
+        items: list[int] = []
+        item_id = getattr(request, "item_id", None)
+        if item_id is not None:
+            items.append(item_id)
+        items.extend(getattr(request, "item_ids", ()))
+        error = isinstance(reply, msg.ErrorReply)
+        context = current_trace()
+        record = {
+            "op": type(request).__name__,
+            "request_id": getattr(request, "request_id", 0),
+            "trace_id": None if context is None else context.trace_id_hex,
+            "file_id": getattr(request, "file_id", None),
+            "items": items,
+            "version_before": version_before,
+            "version_after": self._version_of(request),
+            "ok": not error,
+            "code": reply.code if error else None,
+        }
+        self.audit.append(record)
 
     # ------------------------------------------------------------------
     # Concurrency control

@@ -297,7 +297,11 @@ class CommitLog:
                     name="repro-wal-committer", daemon=True)
                 self._committer.start()
             self._queue.append(entry)
+            depth = len(self._queue)
             self._work.notify()
+        if obs.enabled:
+            from repro.obs import instruments as ins
+            ins.WAL_GROUP_QUEUE.set(depth)
         # Wait on OUR entry only -- never on the commit lock.  (A
         # leader-follower scheme convoys here: committed appenders must
         # re-take the lock to observe their event, and a fresh appender
@@ -329,6 +333,10 @@ class CommitLog:
         with self._queue_lock:
             batch = self._queue[:self.group_max_batch]
             del self._queue[:len(batch)]
+            depth = len(self._queue)
+        if obs.enabled:
+            from repro.obs import instruments as ins
+            ins.WAL_GROUP_QUEUE.set(depth)
         if not batch:
             return
         if len(batch) < self.group_max_batch and self.group_max_wait > 0:
@@ -400,6 +408,27 @@ class CommitLog:
             log_event("wal.append_failed", path=self.path,
                       failed_closed=self._failed,
                       durable_bytes=self._durable_size)
+
+    def health(self) -> tuple[bool, str]:
+        """Readiness probe for ``/readyz``: can this log still commit?
+
+        Fails when the log has failed closed (an unrepairable append
+        error) or when grouped appends are queued but the committer
+        thread is dead -- both mean new mutations cannot be made
+        durable, so traffic should drain elsewhere.
+        """
+        if self._failed:
+            return False, "failed closed after an append error"
+        if self._handle.closed:
+            return False, "log handle is closed"
+        if self.group_commit:
+            with self._queue_lock:
+                pending = len(self._queue)
+            committer = self._committer
+            if pending and (committer is None or not committer.is_alive()):
+                return False, (f"{pending} queued appends but the "
+                               f"committer thread is dead")
+        return True, f"durable through {self._durable_size} bytes"
 
     def reset(self) -> None:
         """Empty the log (call only after checkpointing its effects)."""

@@ -34,7 +34,11 @@ invariants:
    live master keys remain recoverable (soundness controls);
 4. **WAL replay** -- re-executing the write-ahead log from an empty
    server reproduces the live server's exact per-file state, byte for
-   byte (modulators, item maps, ciphertexts, versions).
+   byte (modulators, item maps, ciphertexts, versions);
+5. **audit chain** -- the tamper-evident audit log verifies end to end
+   (hash chain, sequence numbers, head anchor) and its per-file record
+   sequence equals the WAL's decoded per-file op history exactly -- the
+   evidence trail matches what was actually committed.
 
 Any violation raises :class:`InvariantViolation` naming the invariant.
 """
@@ -50,6 +54,7 @@ from dataclasses import dataclass, field
 
 from repro.crypto.rng import DeterministicRandom
 from repro.fs.filesystem import OutsourcedFileSystem
+from repro.obs import audit as audit_mod
 from repro.protocol import messages as msg
 from repro.protocol.channel import LoopbackChannel
 from repro.server.server import CloudServer
@@ -119,6 +124,7 @@ class StressReport:
     invariants: list[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     wal_records: int = 0
+    audit_records: int = 0
 
     def summary(self) -> dict:
         return {
@@ -131,6 +137,7 @@ class StressReport:
             "files_dropped": self.files_dropped,
             "items_deleted": self.items_deleted,
             "wal_records": self.wal_records,
+            "audit_records": self.audit_records,
             "invariants": self.invariants,
             "elapsed_seconds": round(self.elapsed_seconds, 3),
         }
@@ -446,6 +453,15 @@ def run_stress(config: StressConfig) -> StressReport:
     # WAL-replay invariant still checked at the end of the run.
     wal = CommitLog(wal_path, group_commit=(config.transport == "async"))
     server.attach_wal(wal)
+    # Every run also writes the tamper-evident audit chain (fsyncs off:
+    # the chain's *structure* is what the invariant verifies, and the
+    # harness runs hundreds of seeded iterations in CI).
+    audit_path = os.path.join(wal_dir, "stress.audit")
+    for stale in (audit_path, audit_mod.head_path_for(audit_path)):
+        if os.path.exists(stale):
+            os.unlink(stale)
+    audit = audit_mod.AuditLog(audit_path, sync="off")
+    server.attach_audit(audit)
 
     host = None
     try:
@@ -499,7 +515,7 @@ def run_stress(config: StressConfig) -> StressReport:
         if reader_errors:
             raise reader_errors[0]
 
-        _verify(server, tenants, wal_path, report)
+        _verify(server, tenants, wal_path, audit_path, report)
 
         for tenant in tenants:
             for count_op, count in tenant.counts.items():
@@ -510,16 +526,18 @@ def run_stress(config: StressConfig) -> StressReport:
         report.files_created = report.ops.get("create", 0)
         report.foreign_reads = sum(reader_counts)
         report.wal_records = wal.appended
+        report.audit_records = audit.seq
         report.elapsed_seconds = time.perf_counter() - start
         return report
     finally:
         if host is not None:
             host.stop()
         wal.close()
+        audit.close()
 
 
 def _verify(server: CloudServer, tenants: list[_Tenant], wal_path: str,
-            report: StressReport) -> None:
+            audit_path: str, report: StressReport) -> None:
     # 1. The server holds exactly the surviving files, at the exact
     #    versions the model predicts.
     expected: dict[int, int] = {}
@@ -573,8 +591,40 @@ def _verify(server: CloudServer, tenants: list[_Tenant], wal_path: str,
                 _file_fingerprint(server, file_id):
             raise InvariantViolation(
                 f"WAL replay diverged on file {file_id}")
+    wal_payloads = recovered.wal.records()
     recovered.wal.close()
     report.invariants.append("wal-replay-reproduces-state")
+
+    # 5. The audit chain verifies untampered and its per-file record
+    #    sequence equals the WAL's decoded op history.  (Per-file, not
+    #    global: both logs append under the per-file lock, so different
+    #    files' records may interleave differently between the two.)
+    try:
+        audit_records = audit_mod.verify_log(audit_path)
+    except audit_mod.AuditError as exc:
+        raise InvariantViolation(f"audit chain failed to verify: {exc}")
+    if len(audit_records) != len(wal_payloads):
+        raise InvariantViolation(
+            f"audit log holds {len(audit_records)} records, WAL holds "
+            f"{len(wal_payloads)} -- a mutation escaped the trail")
+    wal_history: dict[int, list[tuple[str, int]]] = {}
+    for payload in wal_payloads:
+        request = msg.decode_message(server.ctx, payload)
+        wal_history.setdefault(request.file_id, []).append(
+            (type(request).__name__,
+             getattr(request, "request_id", 0)))
+    audit_history: dict[int, list[tuple[str, int]]] = {}
+    for record in audit_records:
+        audit_history.setdefault(record["file_id"], []).append(
+            (record["op"], record["request_id"]))
+    if audit_history != wal_history:
+        diverged = sorted(
+            file_id for file_id in
+            set(wal_history) | set(audit_history)
+            if wal_history.get(file_id) != audit_history.get(file_id))
+        raise InvariantViolation(
+            f"audit history diverged from the WAL on files {diverged}")
+    report.invariants.append("audit-chain-matches-history")
 
 
 def _verify_theorem2(tenant: _Tenant) -> None:

@@ -31,6 +31,7 @@ EXPECTED_INVARIANTS = [
     "surviving-data-decrypts",
     "theorem2-deleted-unrecoverable",
     "wal-replay-reproduces-state",
+    "audit-chain-matches-history",
 ]
 
 

@@ -5,11 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro import obs
+from repro.obs.health import HEALTH
 
 
 @pytest.fixture(autouse=True)
 def _clean_obs():
     obs.REGISTRY.reset()
+    HEALTH.reset()
     yield
-    obs.disable()
+    obs.disable()  # also detaches the span exporter
     obs.REGISTRY.reset()
+    HEALTH.reset()

@@ -1,0 +1,281 @@
+"""The tamper-evident audit chain: appends, recovery, tamper detection.
+
+The acceptance bar (ISSUE 8): a flipped byte, a truncated tail, and a
+spliced-out record must each fail verification, while an untampered log
+verifies clean and mirrors what the server actually applied.
+"""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.fs.filesystem import OutsourcedFileSystem
+from repro.obs import audit as audit_mod
+from repro.obs.audit import (GENESIS, AuditError, AuditLog, chain_hash,
+                             head_path_for, verify_log)
+from repro.protocol import messages as msg
+from repro.server.server import CloudServer
+
+
+def _fill(path, ops):
+    with AuditLog(str(path)) as log:
+        for op in ops:
+            log.append({"op": op, "request_id": 1, "file_id": 7,
+                        "items": [], "version_before": 0,
+                        "version_after": 1, "ok": True, "code": None,
+                        "trace_id": None})
+    return str(path)
+
+
+def _lines(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read().splitlines()
+
+
+def _write_lines(path, lines):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + ("\n" if lines else ""))
+
+
+# ---------------------------------------------------------------------
+# Chain mechanics
+# ---------------------------------------------------------------------
+
+def test_appends_chain_and_verify_clean(tmp_path):
+    path = _fill(tmp_path / "a.log", ["DeleteCommit", "InsertCommit",
+                                      "ModifyCommit"])
+    records = verify_log(path)
+    assert [r["seq"] for r in records] == [1, 2, 3]
+    assert records[0]["prev"] == GENESIS
+    assert records[1]["prev"] == records[0]["hash"]
+    assert records[2]["prev"] == records[1]["hash"]
+    for record in records:
+        assert record["hash"] == chain_hash(record["prev"], record)
+
+
+def test_head_file_anchors_the_tail(tmp_path):
+    path = _fill(tmp_path / "a.log", ["DeleteCommit", "DeleteCommit"])
+    head = json.load(open(head_path_for(path)))
+    records = verify_log(path)
+    assert head["seq"] == 2
+    assert head["hash"] == records[-1]["hash"]
+
+
+def test_reopen_continues_the_chain(tmp_path):
+    path = str(tmp_path / "a.log")
+    with AuditLog(path) as log:
+        log.append({"op": "DeleteCommit"})
+    with AuditLog(path) as log:
+        assert log.seq == 1
+        log.append({"op": "InsertCommit"})
+    records = verify_log(path)
+    assert [r["op"] for r in records] == ["DeleteCommit", "InsertCommit"]
+
+
+def test_torn_unacknowledged_tail_is_truncated_on_open(tmp_path):
+    path = _fill(tmp_path / "a.log", ["DeleteCommit"])
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"seq": 2, "op": "Inse')  # crash mid-append
+    with AuditLog(path) as log:
+        assert log.seq == 1
+        log.append({"op": "ModifyCommit"})
+    assert [r["op"] for r in verify_log(path)] == \
+        ["DeleteCommit", "ModifyCommit"]
+
+
+def test_torn_tail_the_head_acknowledges_is_an_error(tmp_path):
+    # If the head says record 2 is durable but the log ends torn at 1,
+    # the tail was tampered with (or the head was forged) -- refuse.
+    path = _fill(tmp_path / "a.log", ["DeleteCommit", "InsertCommit"])
+    lines = _lines(path)
+    _write_lines(path, lines[:1] + [lines[1][:20]])
+    with pytest.raises(AuditError, match="head acknowledges"):
+        AuditLog(path)
+
+
+# ---------------------------------------------------------------------
+# Tamper detection (the acceptance criteria trio)
+# ---------------------------------------------------------------------
+
+def test_flipped_byte_is_detected(tmp_path):
+    path = _fill(tmp_path / "a.log", ["DeleteCommit", "InsertCommit",
+                                      "ModifyCommit"])
+    with open(path, "rb") as handle:
+        data = bytearray(handle.read())
+    # Flip one byte inside the second record's op name.
+    position = data.find(b"InsertCommit")
+    data[position] ^= 0x01
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+    with pytest.raises(AuditError, match="hash mismatch at record 2"):
+        verify_log(path)
+
+
+def test_spliced_out_record_is_detected(tmp_path):
+    path = _fill(tmp_path / "a.log", ["DeleteCommit", "InsertCommit",
+                                      "ModifyCommit"])
+    lines = _lines(path)
+    _write_lines(path, [lines[0], lines[2]])  # drop the middle record
+    with pytest.raises(AuditError, match="sequence break at record 2"):
+        verify_log(path)
+
+
+def test_truncated_tail_is_detected_via_the_head(tmp_path):
+    path = _fill(tmp_path / "a.log", ["DeleteCommit", "InsertCommit",
+                                      "ModifyCommit"])
+    lines = _lines(path)
+    _write_lines(path, lines[:2])  # drop the (acknowledged) tail record
+    with pytest.raises(AuditError, match="truncated tail"):
+        verify_log(path)
+    # Without the head anchor the shortened log looks internally valid:
+    # exactly the attack the head file exists to catch.
+    os.unlink(head_path_for(path))
+    assert len(verify_log(path, require_head=False)) == 2
+
+
+def test_rewritten_tail_with_rebuilt_chain_fails_the_head_anchor(tmp_path):
+    # An attacker who rewrites the last record AND recomputes its hash
+    # still cannot match the anchored head hash.
+    path = _fill(tmp_path / "a.log", ["DeleteCommit", "InsertCommit"])
+    records = verify_log(path)
+    forged = dict(records[1])
+    forged["op"] = "ModifyCommit"
+    forged["hash"] = chain_hash(forged["prev"], forged)
+    _write_lines(path, [_lines(path)[0],
+                        json.dumps(forged, sort_keys=True,
+                                   separators=(",", ":"))])
+    with pytest.raises(AuditError, match="head anchor mismatch"):
+        verify_log(path)
+
+
+def test_missing_head_is_an_error_unless_waived(tmp_path):
+    path = _fill(tmp_path / "a.log", ["DeleteCommit"])
+    os.unlink(head_path_for(path))
+    with pytest.raises(AuditError, match="head .* missing"):
+        verify_log(path)
+    assert len(verify_log(path, require_head=False)) == 1
+
+
+# ---------------------------------------------------------------------
+# Server emission
+# ---------------------------------------------------------------------
+
+def _fs_with_audit(tmp_path, seed="audit"):
+    fs = OutsourcedFileSystem(rng=DeterministicRandom(seed))
+    audit = AuditLog(str(tmp_path / "audit.log"))
+    fs.server.attach_audit(audit)
+    return fs, audit
+
+
+def test_every_mutation_kind_is_audited(tmp_path):
+    fs, audit = _fs_with_audit(tmp_path)
+    f = fs.create_file("a", [b"r0", b"r1", b"r2", b"r3"])
+    f.write_record(0, b"new")
+    f.append_record(b"r4")
+    f.delete_record(1)
+    f.delete_many([0, 1])
+    fs.delete_file("a")
+    audit.close()
+
+    records = verify_log(audit.path)
+    ops = [r["op"] for r in records]
+    for expected in ("OutsourceRequest", "ModifyCommit", "InsertCommit",
+                     "DeleteCommit", "BatchDeleteCommit",
+                     "DeleteFileRequest"):
+        assert expected in ops, expected
+    # Reads are not mutations and never hit the trail.
+    assert "AccessRequest" not in ops
+
+
+def test_audit_record_carries_versions_items_and_request_id(tmp_path):
+    fs, audit = _fs_with_audit(tmp_path)
+    f = fs.create_file("a", [b"x", b"y", b"z"])
+    file_id = f.file_id
+    item_id = f._record.index.item_id_at(1)
+    f.delete_record(1)
+    audit.close()
+
+    # The deletion also shreds the master-key record in the meta tree
+    # (its own DeleteCommit there); look at the data file's only.
+    deletes = [r for r in verify_log(audit.path)
+               if r["op"] == "DeleteCommit" and r["file_id"] == file_id]
+    (record,) = deletes
+    assert record["file_id"] == file_id
+    assert record["items"] == [item_id]
+    assert record["version_after"] == record["version_before"] + 1
+    assert record["request_id"] > 0
+    assert record["ok"] is True
+
+
+def test_rejected_mutation_is_audited_with_its_error_code(tmp_path):
+    fs, audit = _fs_with_audit(tmp_path)
+    fs.create_file("a", [b"x"])
+    reply = fs.server.handle(msg.DeleteCommit(
+        file_id=999_999, item_id=5, request_id=12345))
+    assert isinstance(reply, msg.ErrorReply)
+    audit.close()
+
+    rejected = [r for r in verify_log(audit.path) if not r["ok"]]
+    (record,) = rejected
+    assert record["op"] == "DeleteCommit"
+    assert record["file_id"] == 999_999
+    assert record["request_id"] == 12345
+    assert record["code"] == reply.code
+
+
+def test_audit_works_with_observability_disabled(tmp_path):
+    # The trail is evidence, not telemetry: it must record with the
+    # global obs flag off (the default in this suite's fixture).
+    from repro.obs import runtime
+    assert not runtime.enabled
+    fs, audit = _fs_with_audit(tmp_path)
+    f = fs.create_file("a", [b"x", b"y"])
+    f.delete_record(0)
+    audit.close()
+    assert any(r["op"] == "DeleteCommit" for r in verify_log(audit.path))
+
+
+def test_traced_mutation_records_its_trace_id(tmp_path):
+    from repro import obs
+    obs.enable()
+    try:
+        fs, audit = _fs_with_audit(tmp_path)
+        f = fs.create_file("a", [b"x", b"y"])
+        f.delete_record(0)
+        audit.close()
+        deletes = [r for r in verify_log(audit.path)
+                   if r["op"] == "DeleteCommit"]
+        assert all(isinstance(r["trace_id"], str)
+                   and len(r["trace_id"]) == 32 for r in deletes)
+    finally:
+        obs.disable()
+
+
+def test_server_with_audit_still_pickles(tmp_path):
+    fs, audit = _fs_with_audit(tmp_path)
+    fs.create_file("a", [b"x"])
+    clone = pickle.loads(pickle.dumps(fs.server))
+    assert clone.audit is None  # open log handles cannot travel
+    assert clone.file_ids() == fs.server.file_ids()
+    audit.close()
+
+
+def test_tail_records_returns_the_last_n(tmp_path):
+    path = _fill(tmp_path / "a.log", [f"Op{i}" for i in range(7)])
+    tail = audit_mod.tail_records(path, 3)
+    assert [r["op"] for r in tail] == ["Op4", "Op5", "Op6"]
+
+
+def test_append_counts_into_metrics_when_enabled(tmp_path):
+    from repro import obs
+    from repro.obs import instruments as ins
+    obs.enable()
+    try:
+        _fill(tmp_path / "a.log", ["DeleteCommit", "InsertCommit"])
+        assert ins.AUDIT_RECORDS.value() == 2
+        assert ins.AUDIT_APPEND_SECONDS.count() == 2
+    finally:
+        obs.disable()

@@ -97,10 +97,14 @@ def test_label_escaping():
     assert line == 'c_total{path="we\\"ird\\\\name\\nx"} 1'
 
 
-def test_inf_renders_as_prometheus_inf():
+def test_non_finite_sets_are_ignored():
+    # A NaN or Inf from a broken probe must not poison the series (it
+    # would render as an unparseable/garbage sample forever after).
     g = Gauge("g", "")
-    g.set(math.inf)
-    assert list(g.samples()) == ["g +Inf"]
+    g.set(3)
+    for bad in (math.inf, -math.inf, math.nan):
+        g.set(bad)
+    assert list(g.samples()) == ["g 3"]
 
 
 def test_concurrent_increments_do_not_lose_updates():

@@ -1,0 +1,170 @@
+"""The live-stats math: exposition parsing, rates, quantile deltas."""
+
+import io
+import math
+
+from repro.obs import statsview as sv
+from repro.obs.httpd import MetricsServer
+from repro.obs.metrics import MetricsRegistry
+
+
+# ---------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------
+
+def test_parse_plain_and_labelled_samples():
+    text = "\n".join([
+        "# HELP repro_ops_total ops",
+        "# TYPE repro_ops_total counter",
+        'repro_ops_total{op="delete"} 3',
+        'repro_ops_total{op="access"} 10',
+        "repro_replay_cache_size 42",
+        "",
+    ])
+    samples = sv.parse_prometheus(text)
+    assert samples[("repro_ops_total", (("op", "delete"),))] == 3
+    assert samples[("repro_ops_total", (("op", "access"),))] == 10
+    assert samples[("repro_replay_cache_size", ())] == 42
+
+
+def test_parse_handles_escaped_label_values():
+    text = ('weird_total{path="a\\"b",detail="x,y"} 1\n'
+            'weird_total{path="plain",detail="z"} 2\n')
+    samples = sv.parse_prometheus(text)
+    assert samples[("weird_total",
+                    (("detail", "x,y"), ("path", 'a"b')))] == 1
+    assert samples[("weird_total",
+                    (("detail", "z"), ("path", "plain")))] == 2
+
+
+def test_parse_skips_malformed_lines():
+    samples = sv.parse_prometheus("not a sample\nok_total 1\nbad nan?\n")
+    assert samples == {("ok_total", ()): 1}
+
+
+def test_parse_roundtrips_the_real_registry_rendering():
+    registry = MetricsRegistry()
+    registry.counter("repro_ops_total", "", ("op",)).inc(5, op="delete")
+    registry.histogram("repro_op_seconds", "", (), (0.1, 1.0)).observe(0.5)
+    samples = sv.parse_prometheus(registry.render())
+    assert samples[("repro_ops_total", (("op", "delete"),))] == 5
+    assert samples[("repro_op_seconds_count", ())] == 1
+    assert samples[("repro_op_seconds_bucket", (("le", "1"),))] == 1
+    assert samples[("repro_op_seconds_bucket", (("le", "+Inf"),))] == 1
+
+
+# ---------------------------------------------------------------------
+# Delta arithmetic
+# ---------------------------------------------------------------------
+
+def _snap(**values):
+    """Shorthand: _snap(**{'name|k=v': 3}) -> parsed-snapshot dict."""
+    out = {}
+    for spec, value in values.items():
+        name, _, label = spec.partition("|")
+        labels = ()
+        if label:
+            key, _, raw = label.partition("=")
+            labels = ((key, raw),)
+        out[(name, labels)] = value
+    return out
+
+
+def test_rate_is_per_second_delta_clamped_at_zero():
+    prev = _snap(c_total=10)
+    curr = _snap(c_total=30)
+    assert sv.rate(prev, curr, "c_total", 2.0) == 10.0
+    # Counter reset (server restart): negative deltas clamp to zero.
+    assert sv.rate(curr, prev, "c_total", 2.0) == 0.0
+    assert sv.rate(prev, curr, "c_total", 0.0) == 0.0
+
+
+def test_rates_by_label_splits_per_value():
+    prev = {("r_total", (("type", "A"),)): 1,
+            ("r_total", (("type", "B"),)): 5}
+    curr = {("r_total", (("type", "A"),)): 11,
+            ("r_total", (("type", "B"),)): 5,
+            ("r_total", (("type", "C"),)): 2}
+    rates = sv.rates_by_label(prev, curr, "r_total", "type", 2.0)
+    assert rates == {"A": 5.0, "B": 0.0, "C": 1.0}
+
+
+def test_bucket_deltas_order_bounds_with_inf_last():
+    prev = {("h_bucket", (("le", "0.1"),)): 2,
+            ("h_bucket", (("le", "+Inf"),)): 4}
+    curr = {("h_bucket", (("le", "0.1"),)): 5,
+            ("h_bucket", (("le", "+Inf"),)): 10}
+    deltas = sv.bucket_deltas(prev, curr, "h")
+    assert deltas == [(0.1, 3.0), (math.inf, 6.0)]
+
+
+def test_quantile_interpolates_within_the_winning_bucket():
+    # 10 observations: 4 in (0, 0.1], 6 in (0.1, 0.5].
+    buckets = [(0.1, 4.0), (0.5, 10.0), (math.inf, 10.0)]
+    # p50 -> target 5 -> 1/6 into the (0.1, 0.5] bucket.
+    p50 = sv.quantile_from_deltas(buckets, 0.50)
+    assert abs(p50 - (0.1 + 0.4 / 6)) < 1e-12
+    # Everything fits under 0.5, so p100 is its bound.
+    assert sv.quantile_from_deltas(buckets, 1.0) == 0.5
+
+
+def test_quantile_in_the_inf_bucket_reports_last_finite_bound():
+    buckets = [(0.1, 1.0), (math.inf, 10.0)]
+    assert sv.quantile_from_deltas(buckets, 0.95) == 0.1
+
+
+def test_quantile_edge_cases():
+    assert sv.quantile_from_deltas([], 0.5) is None
+    assert sv.quantile_from_deltas([(0.1, 0.0), (math.inf, 0.0)],
+                                   0.5) is None  # idle interval
+    assert sv.quantile_from_deltas([(0.1, 1.0)], 1.5) is None
+
+
+# ---------------------------------------------------------------------
+# Rendering + the scrape loop against a real endpoint
+# ---------------------------------------------------------------------
+
+def _registry_with_traffic(ops):
+    registry = MetricsRegistry()
+    requests = registry.counter("repro_server_requests_total", "",
+                                ("type",))
+    handle = registry.histogram("repro_server_handle_seconds", "", (),
+                                (0.001, 0.01, 0.1))
+    for op, count in ops.items():
+        requests.inc(count, type=op)
+        for _ in range(count):
+            handle.observe(0.005)
+    return registry
+
+
+def test_render_dashboard_shows_rates_and_quantiles():
+    prev = sv.parse_prometheus(_registry_with_traffic(
+        {"DeleteRequest": 0}).render())
+    curr = sv.parse_prometheus(_registry_with_traffic(
+        {"DeleteRequest": 20, "AccessRequest": 4}).render())
+    frame = sv.render_dashboard(prev, curr, 2.0)
+    assert "ops/s" in frame and "12.0" in frame  # (20 + 4) / 2s
+    assert "DeleteRequest" in frame and "10.0/s" in frame
+    assert "AccessRequest" in frame and "2.0/s" in frame
+    # All 24 observations landed in the 0.01 bucket -> finite quantiles.
+    assert "p50" in frame and "--" not in frame.split("\n")[2]
+
+
+def test_render_dashboard_idle_interval():
+    snapshot = sv.parse_prometheus(
+        _registry_with_traffic({"DeleteRequest": 3}).render())
+    frame = sv.render_dashboard(snapshot, snapshot, 2.0)
+    assert "(no traffic this interval)" in frame
+    assert "--" in frame  # no latency samples either
+
+
+def test_run_stats_scrapes_a_live_endpoint():
+    registry = _registry_with_traffic({"DeleteRequest": 8})
+    with MetricsServer(registry) as server:
+        host, port = server.address
+        out = io.StringIO()
+        rc = sv.run_stats(host, port, interval=0.05, count=2, out=out)
+    assert rc == 0
+    frames = out.getvalue().strip().split("\n\n")
+    assert len(frames) == 2
+    assert all("repro-vault stats" in frame for frame in frames)
