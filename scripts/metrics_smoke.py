@@ -17,14 +17,25 @@ The audit log (+ head) and the span file are copied into
 ``smoke-artifacts/`` so CI can upload an independently verifiable
 deletion record from every run.
 
+With ``--shards N`` the smoke instead serves the vault as N
+consistent-hash shards (``serve --shards N --durable --audit``), drives
+routed traffic through ``OutsourcedFileSystem.connect_sharded``, and
+asserts the sharded observability contract: ``/readyz`` lists one
+``shard-<i>`` probe per shard, the aggregated ``/metrics`` scrape's
+per-shard ``repro_shard_requests_total`` series sum to the global
+``repro_server_requests_total``, and every shard's audit chain
+verifies independently.
+
 Exits non-zero (with the scrape dumped to stderr) on any failure, so it
 can gate CI directly:
 
     python scripts/metrics_smoke.py
+    python scripts/metrics_smoke.py --shards 3
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import re
@@ -83,6 +94,102 @@ def metric_value(text: str, name: str, labels: str = "") -> float:
     if not found:
         raise SystemExit(f"metric {name}{labels} missing from scrape")
     return total
+
+
+def sharded_main(shards: int) -> int:
+    """Sharded-tier smoke: routed traffic, aggregated scrape, per-shard
+    readiness and audit chains."""
+    workdir = tempfile.mkdtemp(prefix="repro-smoke-shards-")
+    run_cli(workdir, "init")
+    run_cli(workdir, "put", "docs/adopted.txt", stdin="alpha\nbeta\n")
+
+    serve = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--shards", str(shards), "--durable", "--audit",
+         "--metrics-port", "0"],
+        cwd=workdir, env=cli_env(), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    try:
+        deadline = time.time() + 30
+        metrics_match = read_until(serve.stdout,
+                                   r"metrics on http://([0-9.]+):(\d+)",
+                                   deadline)
+        metrics_addr = (metrics_match.group(1), int(metrics_match.group(2)))
+        addresses = []
+        for shard_id in range(shards):
+            match = read_until(
+                serve.stdout,
+                rf"serving shard {shard_id} on ([0-9.]+):(\d+)", deadline)
+            addresses.append((match.group(1), int(match.group(2))))
+        read_until(serve.stdout, r"serving vault across", deadline)
+
+        # Routed traffic: files spread across the ring, plus an assured
+        # deletion (id bases disjoint from the adopted vault's files).
+        sys.path.insert(0, SRC)
+        from repro.fs.filesystem import OutsourcedFileSystem
+
+        fs = OutsourcedFileSystem.connect_sharded(
+            addresses, meta_id_base=900, file_id_base=5_000_000)
+        touched_shards = set()
+        for index in range(2 * shards):
+            name = f"net/routed-{index}.txt"
+            fs.create_file(name, [b"r0", b"r1", b"r2"])
+            touched_shards.add(fs.shard_of(name))
+        fs.open("net/routed-0.txt").delete_record(1)
+        assert fs.open("net/routed-0.txt").read_all() == [b"r0", b"r2"]
+
+        base = f"http://{metrics_addr[0]}:{metrics_addr[1]}"
+        with urllib.request.urlopen(base + "/readyz",
+                                    timeout=10) as response:
+            ready = json.loads(response.read().decode("utf-8"))
+            assert response.status == 200, ready
+        assert ready["ready"] is True, ready
+        expected_probes = {f"shard-{i}" for i in range(shards)}
+        assert expected_probes <= set(ready["checks"]), ready
+
+        with urllib.request.urlopen(base + "/metrics",
+                                    timeout=10) as response:
+            text = response.read().decode("utf-8")
+        try:
+            # Each touched shard's labelled series must be present...
+            for shard_id in sorted(touched_shards):
+                assert metric_value(text, "repro_shard_requests_total",
+                                    f'{{shard="{shard_id}"}}') > 0
+            # ...and the per-shard series must SUM to the global server
+            # request counter: the aggregated scrape loses no traffic.
+            shard_total = metric_value(text, "repro_shard_requests_total")
+            server_total = metric_value(text, "repro_server_requests_total")
+            appends = metric_value(text, "repro_wal_appends_total")
+        except SystemExit:
+            sys.stderr.write(text)
+            raise
+        assert shard_total == server_total, (shard_total, server_total)
+        assert appends > 0, f"no WAL appends recorded: {appends}"
+    finally:
+        serve.terminate()
+        try:
+            serve.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            serve.kill()
+
+    # Every shard's audit chain verifies independently; the deletion is
+    # recorded on exactly the shard that owns the file.
+    deletions = 0
+    for shard_id in range(shards):
+        log = os.path.join(workdir, ".repro-vault", "shards",
+                           f"shard-{shard_id}", "audit.log")
+        report = json.loads(run_cli(workdir, "audit", "verify",
+                                    "--log", log))
+        assert report["ok"] is True, (shard_id, report)
+        deletions += report["deletions"]
+    assert deletions >= 1, "deletion not audited on any shard"
+
+    print(f"sharded metrics smoke OK: {shards} shards "
+          f"({len(touched_shards)} touched), "
+          f"{int(shard_total)} routed requests == {int(server_total)} "
+          f"server requests, {int(appends)} WAL appends, "
+          f"{deletions} audited deletion(s)")
+    return 0
 
 
 def main() -> int:
@@ -197,4 +304,11 @@ def main() -> int:
 
 
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="smoke the sharded serving tier with N "
+                             "shards (default: single-server smoke)")
+    cli_args = parser.parse_args()
+    if cli_args.shards > 1:
+        raise SystemExit(sharded_main(cli_args.shards))
     raise SystemExit(main())

@@ -26,10 +26,13 @@ Commands::
                                             #   /statusz over HTTP
     repro-vault serve --max-conns 64        # bound concurrent connections
     repro-vault serve --audit               # hash-chained deletion audit log
+    repro-vault serve --shards 4            # consistent-hash sharded tier
+                                            #   (one host+WAL+audit per shard)
     repro-vault serve --trace-export spans.jsonl --trace-slow-ms 50
     repro-vault audit verify                # prove the chain untampered
     repro-vault audit tail -n 20            # last audit records
     repro-vault stress --seed ci-42         # seeded concurrency stress run
+    repro-vault stress --shards 4           # same run, sharded serving tier
     repro-vault probe <host> <port>         # health-check a served vault
     repro-vault metrics <host> <port>       # scrape a served vault's metrics
     repro-vault trace <name> <position>     # traced read: JSON spans on stdout
@@ -269,6 +272,9 @@ def cmd_serve(vault: Vault, args) -> int:
         _print(f"exporting spans to {args.trace_export} "
                f"(sample={args.trace_sample}, slow_ms={args.trace_slow_ms})")
 
+    if args.shards > 1:
+        return _serve_sharded(vault, args, metrics_server)
+
     server = vault.fs.server
     if args.durable:
         # Crash-safe mode: state lives in an image + write-ahead log under
@@ -321,6 +327,67 @@ def cmd_serve(vault: Vault, args) -> int:
     return 0
 
 
+def _serve_sharded(vault: Vault, args, metrics_server) -> int:
+    """Serve the vault as N consistent-hash shards, one host per shard.
+
+    Each shard is an isolated server with its own WAL + checkpoint image
+    (``--durable``) and audit chain (``--audit``) under
+    ``<server-dir>/shards/shard-<i>/``.  The vault's files are adopted
+    onto their ring-assigned shards on first serve; clients connect with
+    :meth:`OutsourcedFileSystem.connect_sharded` against the printed
+    per-shard addresses (in shard-id order).
+    """
+    from repro.obs.health import HEALTH
+    from repro.server.cluster import ShardCluster
+
+    transport = "async" if args.use_async else "tcp"
+    shard_dir = os.path.join(vault.server_dir, "shards")
+    cluster = ShardCluster(
+        args.shards, params=vault.fs.params, transport=transport,
+        data_dir=shard_dir, durable=args.durable, audit=args.audit,
+        group_commit=args.group_commit, max_conns=args.max_conns,
+        base_port=args.port)
+    if args.durable:
+        # First durable serve splits the vault's files across the ring
+        # and checkpoints each shard; later serves recover every shard
+        # independently from its own image + WAL.
+        if not cluster.had_state:
+            placed = cluster.adopt_server(vault.fs.server)
+            cluster.checkpoint()
+            _print(f"bootstrapped {placed} file(s) into {args.shards} "
+                   f"durable shards")
+        _print(f"durable shard state under {shard_dir}"
+               + (" (group commit)" if args.group_commit else ""))
+    else:
+        cluster.adopt_server(vault.fs.server)
+    if args.audit:
+        _print(f"audit trails: {shard_dir}/shard-*/audit.log")
+    cluster.register_health()
+    try:
+        cluster.start()
+        for unit in cluster.units:
+            host, port = unit.address
+            _print(f"serving shard {unit.shard_id} on {host}:{port}")
+        _print(f"serving vault across {args.shards} shards "
+               f"(ctrl-C to stop)")
+        try:
+            import threading
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            return 0
+    finally:
+        # Readiness flips to 503 first so a balancer drains before the
+        # per-shard checkpoints start tearing state down.
+        HEALTH.set_stopping()
+        if args.durable:
+            cluster.checkpoint()
+        cluster.unregister_health()
+        cluster.stop()
+        if metrics_server is not None:
+            metrics_server.stop()
+    return 0
+
+
 def cmd_stress(_vault: Vault, args) -> int:
     """Run one seeded concurrency stress iteration and report it.
 
@@ -332,7 +399,7 @@ def cmd_stress(_vault: Vault, args) -> int:
 
     config = StressConfig(seed=args.seed, workers=args.workers,
                           ops_per_worker=args.ops, readers=args.readers,
-                          transport=args.transport,
+                          transport=args.transport, shards=args.shards,
                           toggle_caches=args.toggle_caches)
     try:
         report = run_stress(config)
@@ -513,6 +580,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-port", type=int, default=None,
                        help="also expose Prometheus metrics over HTTP on "
                             "this port (0 = ephemeral)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="serve N consistent-hash shards, one host per "
+                            "shard on ports --port..--port+N-1 (0 = all "
+                            "ephemeral); each shard owns its own WAL, "
+                            "checkpoint, and audit chain")
     serve.add_argument("--max-conns", type=int, default=None,
                        help="bound concurrently served TCP connections "
                             "(excess dials queue in the listen backlog)")
@@ -545,6 +617,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="keyless foreign-reader threads")
     stress.add_argument("--transport", choices=("loopback", "tcp", "async"),
                         default="loopback")
+    stress.add_argument("--shards", type=int, default=1,
+                        help="independent server shards behind the "
+                             "consistent-hash router")
     stress.add_argument("--toggle-caches", action="store_true",
                         help="randomly flip the hot-path caches mid-run")
     stress.add_argument("-v", "--verbose", action="store_true",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro.client.client import AssuredDeletionClient
 from repro.core.errors import ReproError, UnknownItemError
@@ -136,6 +136,27 @@ class OutsourcedFile:
         new_key = self._fs.client.delete(self._record.file_id, key, item_id)
         meta.replace_master_key(self._record.file_id, new_key)
         self._record.index.remove(position)
+
+    @_traced_fs("resume_delete_many")
+    def resume_delete_many(self, positions: Sequence[int]) -> None:
+        """Finalise a batched deletion whose commit raised or lost its Ack.
+
+        Replays the client's journalled commit byte-for-byte (the server
+        answers from its replay cache if it already applied it), then
+        performs the meta-tree master-key replacement and index removal
+        that the failed :meth:`delete_many` never reached.  Per-shard
+        recovery for a cross-shard fan-out: each file resumes against
+        its own shard independently.
+        """
+        positions = list(positions)
+        item_ids = [self._record.index.item_id_at(position)
+                    for position in positions]
+        meta = self._meta()
+        new_key = self._fs.client.resume_delete_many(self._record.file_id,
+                                                     item_ids)
+        meta.replace_master_key(self._record.file_id, new_key)
+        for position in sorted(positions, reverse=True):
+            self._record.index.remove(position)
 
     @_traced_fs("delete_many")
     def delete_many(self, positions: Sequence[int]) -> None:
@@ -260,6 +281,107 @@ class OutsourcedFileSystem:
             retry=retry if retry is not None else RetryPolicy())
         return cls(channel, params=params, rng=rng, metrics=metrics,
                    group_of=group_of)
+
+    @classmethod
+    def connect_sharded(cls, addresses: Sequence[tuple[str, int]],
+                        transport: str = "tcp",
+                        params: Params | None = None,
+                        rng: RandomSource | None = None,
+                        metrics: MetricsCollector | None = None,
+                        group_of: Callable[[str], str] = directory_group,
+                        retry: "RetryPolicy | None" = None,
+                        vnodes: int | None = None,
+                        meta_id_base: int = 1,
+                        file_id_base: int | None = None,
+                        ) -> "OutsourcedFileSystem":
+        """Open a file system against a sharded serving tier.
+
+        ``addresses`` lists one host per shard, indexed by shard id (the
+        order ``serve --shards N`` prints them).  Every file resolves to
+        its shard transparently through the consistent-hash ring; the
+        client sees one logical server.  ``meta_id_base``/
+        ``file_id_base`` partition the id space exactly as in the
+        constructor (several clients sharing one cluster pass disjoint
+        bases).
+        """
+        from repro.fs.sharding import (DEFAULT_VNODES, ShardMap,
+                                       ShardRoutingChannel)
+        from repro.protocol.wire import WireContext
+        params = params if params is not None else Params()
+        ctx = WireContext(modulator_width=params.modulator_size)
+        vnodes = vnodes if vnodes is not None else DEFAULT_VNODES
+        if transport == "tcp":
+            shard_map = ShardMap.tcp(addresses, ctx, retry=retry,
+                                     vnodes=vnodes)
+        elif transport == "async":
+            shard_map = ShardMap.async_tcp(addresses, ctx, vnodes=vnodes)
+        else:
+            raise ReproError(f"unknown shard transport {transport!r}")
+        return cls(ShardRoutingChannel(shard_map), params=params, rng=rng,
+                   metrics=metrics, group_of=group_of,
+                   meta_id_base=meta_id_base, file_id_base=file_id_base)
+
+    # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+
+    @property
+    def router(self):
+        """The routing channel, or ``None`` against a single server."""
+        from repro.fs.sharding import ShardRoutingChannel
+        channel = self.client.channel
+        return channel if isinstance(channel, ShardRoutingChannel) else None
+
+    def shard_of(self, name: str) -> Optional[int]:
+        """Which shard holds ``name``'s data tree (``None`` unsharded)."""
+        record = self._files.get(name)
+        if record is None:
+            raise UnknownItemError(f"no such file {name!r}")
+        router = self.router
+        return None if router is None else router.shard_of(record.file_id)
+
+    def delete_records(self, batches: Mapping[str, Sequence[int]]) -> dict:
+        """Assuredly delete records from several files in one fan-out.
+
+        ``batches`` maps file names to logical positions.  Files are
+        grouped by owning shard and each file's deletion commits
+        atomically against its own shard (one batched two-phase
+        exchange + one meta-tree key replacement); shard groups execute
+        in deterministic order (shard id, then name) and the replies are
+        merged into ``{shard_id: ShardOutcome}``.
+
+        A partial failure raises :class:`ShardFanoutError` carrying the
+        per-shard outcomes: committed files stay committed (per-shard
+        atomicity), and each failed file recovers independently through
+        the client's deletion journal
+        (:meth:`OutsourcedFile.resume_delete_many`) once its shard is
+        reachable again.
+        """
+        from repro.fs.sharding import ShardFanoutError, ShardOutcome
+        plan: dict[Optional[int], list[tuple[str, list[int]]]] = {}
+        for name, positions in batches.items():
+            if name not in self._files:
+                raise UnknownItemError(f"no such file {name!r}")
+            plan.setdefault(self.shard_of(name), []).append(
+                (name, list(positions)))
+        outcomes: dict[Optional[int], ShardOutcome] = {}
+        failed = False
+        order = sorted(plan, key=lambda s: -1 if s is None else s)
+        for shard_id in order:
+            outcome = ShardOutcome(shard_id=shard_id)
+            for name, positions in sorted(plan[shard_id]):
+                try:
+                    self.open(name).delete_many(positions)
+                except Exception as exc:
+                    outcome.failed[name] = \
+                        f"{type(exc).__name__}: {exc}"
+                    failed = True
+                else:
+                    outcome.committed.append(name)
+            outcomes[shard_id] = outcome
+        if failed:
+            raise ShardFanoutError(outcomes)
+        return outcomes
 
     # ------------------------------------------------------------------
     # Groups

@@ -77,6 +77,19 @@ TREE_VERSION = REGISTRY.gauge(
     ("file_id",))
 
 # ---------------------------------------------------------------------
+# Sharded serving tier (consistent-hash routed server instances)
+# ---------------------------------------------------------------------
+
+SHARD_REQUESTS = REGISTRY.counter(
+    "repro_shard_requests_total",
+    "Requests handled per shard of the sharded serving tier",
+    ("shard",))
+SHARD_FILES = REGISTRY.gauge(
+    "repro_shard_files",
+    "Files resident on each shard (consistent-hash placement)",
+    ("shard",))
+
+# ---------------------------------------------------------------------
 # Concurrency control (registry / per-file reader-writer locks)
 # ---------------------------------------------------------------------
 

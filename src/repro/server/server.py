@@ -458,12 +458,27 @@ class CloudServer:
         self._view_caches.pop(file_id, None)
         return self._state(file_id)
 
+    def install_file_state(self, file_id: int, state: ServerFile) -> None:
+        """Install a complete per-file state wholesale.
+
+        The shard-migration door: :meth:`adopt_file` rebuilds a file from
+        its parts (resetting version and replay cache), whereas this
+        moves an existing :class:`ServerFile` -- version, registry, and
+        commit replay cache included -- between server instances.
+        """
+        self._files[file_id] = state
+        self._view_caches.pop(file_id, None)
+
     def has_file(self, file_id: int) -> bool:
         return file_id in self._files
 
     def file_ids(self) -> list[int]:
         """Ids of every file currently stored (sorted)."""
         return sorted(self._files)
+
+    def file_count(self) -> int:
+        """Number of files currently stored (cheap, for gauges)."""
+        return len(self._files)
 
     # ------------------------------------------------------------------
     # Registry helpers

@@ -1,7 +1,9 @@
 """Deterministically-seeded concurrency stress harness.
 
-Runs ``workers`` client threads against ONE in-process server -- over
-loopback channels or a real TCP socket -- each thread driving its own
+Runs ``workers`` client threads against a shard cluster of ``shards``
+independent server instances (one by default) -- over loopback
+channels, a real TCP socket per shard, or the pipelined async host --
+each thread driving its own
 :class:`~repro.fs.filesystem.OutsourcedFileSystem` tenant (disjoint
 file-id space, own keys) through a randomized mix of put / read / modify
 / insert / delete / batch-delete / drop operations, while optional
@@ -26,26 +28,28 @@ invariants:
 2. **surviving data decrypts** -- every live file reads back equal to
    the model, through the full two-level key derivation under the final
    master/control keys;
-3. **Theorem 2** -- every deleted item resists the paper's full recovery
+3. **cross-shard placement** -- every live file lives on exactly the
+   shard the consistent-hash ring assigns it, and on no other (requests
+   were routed correctly and no state leaked between shards);
+4. **Theorem 2** -- every deleted item resists the paper's full recovery
    procedure at both levels: the data-tree attack (every historical
    server state plus the final master keys) fails on deleted records,
    and the meta-tree attack (every historical meta state plus the seized
    control keys) fails on shredded master keys -- while live items and
    live master keys remain recoverable (soundness controls);
-4. **WAL replay** -- re-executing the write-ahead log from an empty
-   server reproduces the live server's exact per-file state, byte for
+5. **WAL replay** -- re-executing each shard's write-ahead log from an
+   empty server reproduces that shard's exact per-file state, byte for
    byte (modulators, item maps, ciphertexts, versions);
-5. **audit chain** -- the tamper-evident audit log verifies end to end
-   (hash chain, sequence numbers, head anchor) and its per-file record
-   sequence equals the WAL's decoded per-file op history exactly -- the
-   evidence trail matches what was actually committed.
+6. **audit chain** -- each shard's tamper-evident audit log verifies end
+   to end (hash chain, sequence numbers, head anchor) and its per-file
+   record sequence equals that shard's WAL-decoded op history exactly
+   -- the evidence trail matches what was actually committed.
 
 Any violation raises :class:`InvariantViolation` naming the invariant.
 """
 
 from __future__ import annotations
 
-import os
 import random
 import tempfile
 import threading
@@ -54,9 +58,10 @@ from dataclasses import dataclass, field
 
 from repro.crypto.rng import DeterministicRandom
 from repro.fs.filesystem import OutsourcedFileSystem
+from repro.fs.sharding import ShardRoutingChannel
 from repro.obs import audit as audit_mod
 from repro.protocol import messages as msg
-from repro.protocol.channel import LoopbackChannel
+from repro.server.cluster import ShardCluster
 from repro.server.server import CloudServer
 from repro.server.wal import CommitLog, recover_server
 from repro.sim.threat import Adversary, snapshot_file
@@ -93,6 +98,10 @@ class StressConfig:
     min_records: int = 3
     max_records: int = 8
     transport: str = "loopback"  # "loopback" | "tcp" | "async"
+    #: Independent server shards behind the consistent-hash router.
+    #: Every transport routes through the ring even at ``shards=1``,
+    #: so the op mix is identical across shard counts for one seed.
+    shards: int = 1
     readers: int = 1
     verify_theorem2: bool = True
     wal_dir: str | None = None
@@ -107,6 +116,8 @@ class StressConfig:
             raise ValueError(f"unknown transport {self.transport!r}")
         if self.workers < 1 or self.ops_per_worker < 1:
             raise ValueError("workers and ops_per_worker must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
         if not 1 <= self.min_records <= self.max_records:
             raise ValueError("need 1 <= min_records <= max_records")
 
@@ -130,6 +141,7 @@ class StressReport:
         return {
             "seed": self.config.seed,
             "transport": self.config.transport,
+            "shards": self.config.shards,
             "workers": self.config.workers,
             "ops": dict(sorted(self.ops.items())),
             "foreign_reads": self.foreign_reads,
@@ -150,11 +162,11 @@ class _Tenant:
     _META_STRIDE = 1_000
     _FILE_STRIDE = 1_000_000
 
-    def __init__(self, index: int, config: StressConfig, server: CloudServer,
-                 channel) -> None:
+    def __init__(self, index: int, config: StressConfig,
+                 cluster: ShardCluster, channel) -> None:
         self.index = index
         self.config = config
-        self.server = server
+        self.cluster = cluster
         self.ops = random.Random(f"{config.seed}/ops/{index}")
         self.fs = OutsourcedFileSystem(
             channel=channel,
@@ -205,15 +217,16 @@ class _Tenant:
         if data:
             file_id = self.file_ids.get(name)
             if file_id is not None and file_id in self.adversaries:
-                self.adversaries[file_id].observe(
-                    snapshot_file(self.server, file_id))
+                self.adversaries[file_id].observe(snapshot_file(
+                    self.cluster.server_for(file_id), file_id))
         if meta:
             meta_id = self._manager(name).meta_file_id
             adversary = self.meta_adversaries.get(meta_id)
             if adversary is None:
                 adversary = Adversary(params=self.fs.params)
                 self.meta_adversaries[meta_id] = adversary
-            adversary.observe(snapshot_file(self.server, meta_id))
+            adversary.observe(snapshot_file(
+                self.cluster.server_for(meta_id), meta_id))
 
     def _note_meta_replacement(self, name: str, old_meta_item: int) -> None:
         """A master-key record was assuredly deleted from the meta tree."""
@@ -350,8 +363,9 @@ class _Tenant:
             client.disable_cache()
             client.enable_cache()
         else:
-            self.server.view_cache_enabled = \
-                not self.server.view_cache_enabled
+            for unit in self.cluster.units:
+                unit.server.view_cache_enabled = \
+                    not unit.server.view_cache_enabled
 
     def _step(self) -> None:
         if self.config.toggle_caches and self.ops.random() < 0.15:
@@ -443,47 +457,31 @@ def run_stress(config: StressConfig) -> StressReport:
     report = StressReport(config=config)
     start = time.perf_counter()
 
-    server = CloudServer()
-    wal_dir = config.wal_dir or tempfile.mkdtemp(prefix="repro-stress-")
-    wal_path = os.path.join(wal_dir, "stress.wal")
-    if os.path.exists(wal_path):
-        os.unlink(wal_path)
+    # Every shard is an isolated server + WAL + audit chain; routing to
+    # it goes through the consistent-hash ring regardless of transport.
     # The async transport exercises the group-commit WAL path: many
     # pipelined mutators coalescing into shared fsyncs, with the usual
-    # WAL-replay invariant still checked at the end of the run.
-    wal = CommitLog(wal_path, group_commit=(config.transport == "async"))
-    server.attach_wal(wal)
-    # Every run also writes the tamper-evident audit chain (fsyncs off:
-    # the chain's *structure* is what the invariant verifies, and the
-    # harness runs hundreds of seeded iterations in CI).
-    audit_path = os.path.join(wal_dir, "stress.audit")
-    for stale in (audit_path, audit_mod.head_path_for(audit_path)):
-        if os.path.exists(stale):
-            os.unlink(stale)
-    audit = audit_mod.AuditLog(audit_path, sync="off")
-    server.attach_audit(audit)
+    # per-shard WAL-replay invariant still checked at the end.  Audit
+    # fsyncs are off: the chain's *structure* is what the invariant
+    # verifies, and the harness runs hundreds of seeded iterations in CI.
+    wal_dir = config.wal_dir or tempfile.mkdtemp(prefix="repro-stress-")
+    cluster = ShardCluster(
+        config.shards, transport=config.transport, data_dir=wal_dir,
+        fresh=True, audit=True, audit_sync="off",
+        wal_factory=lambda path: CommitLog(
+            path, group_commit=(config.transport == "async")))
 
-    host = None
+    channels = []
     try:
-        if config.transport == "tcp":
-            from repro.protocol.tcp import TcpChannel, TcpServerHost
-            host = TcpServerHost(server).start()
-            address = host.address
+        cluster.start()
+        shard_map = cluster.shard_map()
 
-            def make_channel():
-                return TcpChannel(address, server.ctx)
-        elif config.transport == "async":
-            from repro.protocol.aio import AsyncTcpChannel, AsyncTcpServerHost
-            host = AsyncTcpServerHost(server).start()
-            address = host.address
+        def make_channel():
+            channel = ShardRoutingChannel(shard_map)
+            channels.append(channel)
+            return channel
 
-            def make_channel():
-                return AsyncTcpChannel(address, server.ctx)
-        else:
-            def make_channel():
-                return LoopbackChannel(server)
-
-        tenants = [_Tenant(i, config, server, make_channel())
+        tenants = [_Tenant(i, config, cluster, make_channel())
                    for i in range(config.workers)]
         published: list[int] = []
         publish_lock = threading.Lock()
@@ -515,7 +513,7 @@ def run_stress(config: StressConfig) -> StressReport:
         if reader_errors:
             raise reader_errors[0]
 
-        _verify(server, tenants, wal_path, audit_path, report)
+        _verify(cluster, tenants, report)
 
         for tenant in tenants:
             for count_op, count in tenant.counts.items():
@@ -525,34 +523,42 @@ def run_stress(config: StressConfig) -> StressReport:
                                         tenant.killed.values())
         report.files_created = report.ops.get("create", 0)
         report.foreign_reads = sum(reader_counts)
-        report.wal_records = wal.appended
-        report.audit_records = audit.seq
+        report.wal_records = cluster.total_wal_records()
+        report.audit_records = cluster.total_audit_records()
         report.elapsed_seconds = time.perf_counter() - start
         return report
     finally:
-        if host is not None:
-            host.stop()
-        wal.close()
-        audit.close()
+        for channel in channels:
+            channel.close()
+        cluster.stop()
 
 
-def _verify(server: CloudServer, tenants: list[_Tenant], wal_path: str,
-            audit_path: str, report: StressReport) -> None:
-    # 1. The server holds exactly the surviving files, at the exact
-    #    versions the model predicts.
+def _verify(cluster: ShardCluster, tenants: list[_Tenant],
+            report: StressReport) -> None:
+    # 1. The cluster holds exactly the surviving files, at the exact
+    #    versions the model predicts -- and no file id is resident on
+    #    more than one shard.
     expected: dict[int, int] = {}
     for tenant in tenants:
         overlap = expected.keys() & tenant.expected_version.keys()
         if overlap:
             raise InvariantViolation(f"tenants shared file ids {overlap}")
         expected.update(tenant.expected_version)
-    live = set(server.file_ids())
+    placement: dict[int, int] = {}
+    for unit in cluster.units:
+        for file_id in unit.server.file_ids():
+            if file_id in placement:
+                raise InvariantViolation(
+                    f"file {file_id} resident on shards "
+                    f"{placement[file_id]} and {unit.shard_id}")
+            placement[file_id] = unit.shard_id
+    live = set(placement)
     if live != set(expected):
         raise InvariantViolation(
-            f"server holds files {sorted(live)}, model expects "
+            f"cluster holds files {sorted(live)}, model expects "
             f"{sorted(expected)}")
     for file_id, version in expected.items():
-        actual = server.file_state(file_id).version
+        actual = cluster.server_for(file_id).file_state(file_id).version
         if actual != version:
             raise InvariantViolation(
                 f"file {file_id}: version {actual}, expected {version} "
@@ -570,7 +576,20 @@ def _verify(server: CloudServer, tenants: list[_Tenant], wal_path: str,
                     f"content diverged from the model")
     report.invariants.append("surviving-data-decrypts")
 
-    # 3. Theorem 2 at both levels: deleted records and shredded master
+    # 3. Consistent-hash placement: every live file sits on exactly the
+    #    shard the ring assigns it (routing never strayed, and no state
+    #    migrated or leaked between shards).  Trivially true at
+    #    shards=1, but checked unconditionally so the invariant list is
+    #    identical across shard counts.
+    for file_id in sorted(live):
+        owner = cluster.shard_of(file_id)
+        if placement[file_id] != owner:
+            raise InvariantViolation(
+                f"file {file_id} resident on shard {placement[file_id]}, "
+                f"ring assigns shard {owner}")
+    report.invariants.append("cross-shard-placement")
+
+    # 4. Theorem 2 at both levels: deleted records and shredded master
     #    keys resist the recovery procedure; live ones fall to it (the
     #    soundness control that keeps the negative result meaningful).
     if all(tenant.config.verify_theorem2 for tenant in tenants):
@@ -578,52 +597,67 @@ def _verify(server: CloudServer, tenants: list[_Tenant], wal_path: str,
             _verify_theorem2(tenant)
         report.invariants.append("theorem2-deleted-unrecoverable")
 
-    # 4. Replaying the WAL from an empty server reproduces the live
-    #    state exactly.
-    recovered = recover_server(wal_path + ".noimage", wal_path)
-    recovered_live = set(recovered.file_ids())
-    if recovered_live != live:
-        raise InvariantViolation(
-            f"WAL replay rebuilt files {sorted(recovered_live)}, live "
-            f"server has {sorted(live)}")
-    for file_id in sorted(live):
-        if _file_fingerprint(recovered, file_id) != \
-                _file_fingerprint(server, file_id):
+    # 5. Replaying each shard's WAL from an empty server reproduces that
+    #    shard's live state exactly -- and only that shard's files (a
+    #    file's commits never land in a sibling's log).
+    wal_payloads_by_shard: dict[int, list[bytes]] = {}
+    for unit in cluster.units:
+        shard_live = {file_id for file_id, shard_id in placement.items()
+                      if shard_id == unit.shard_id}
+        recovered = recover_server(unit.wal_path + ".noimage",
+                                   unit.wal_path)
+        recovered_live = set(recovered.file_ids())
+        if recovered_live != shard_live:
             raise InvariantViolation(
-                f"WAL replay diverged on file {file_id}")
-    wal_payloads = recovered.wal.records()
-    recovered.wal.close()
+                f"shard {unit.shard_id}: WAL replay rebuilt files "
+                f"{sorted(recovered_live)}, live shard has "
+                f"{sorted(shard_live)}")
+        for file_id in sorted(shard_live):
+            if _file_fingerprint(recovered, file_id) != \
+                    _file_fingerprint(unit.server, file_id):
+                raise InvariantViolation(
+                    f"shard {unit.shard_id}: WAL replay diverged on "
+                    f"file {file_id}")
+        wal_payloads_by_shard[unit.shard_id] = recovered.wal.records()
+        recovered.wal.close()
     report.invariants.append("wal-replay-reproduces-state")
 
-    # 5. The audit chain verifies untampered and its per-file record
-    #    sequence equals the WAL's decoded op history.  (Per-file, not
-    #    global: both logs append under the per-file lock, so different
-    #    files' records may interleave differently between the two.)
-    try:
-        audit_records = audit_mod.verify_log(audit_path)
-    except audit_mod.AuditError as exc:
-        raise InvariantViolation(f"audit chain failed to verify: {exc}")
-    if len(audit_records) != len(wal_payloads):
-        raise InvariantViolation(
-            f"audit log holds {len(audit_records)} records, WAL holds "
-            f"{len(wal_payloads)} -- a mutation escaped the trail")
-    wal_history: dict[int, list[tuple[str, int]]] = {}
-    for payload in wal_payloads:
-        request = msg.decode_message(server.ctx, payload)
-        wal_history.setdefault(request.file_id, []).append(
-            (type(request).__name__,
-             getattr(request, "request_id", 0)))
-    audit_history: dict[int, list[tuple[str, int]]] = {}
-    for record in audit_records:
-        audit_history.setdefault(record["file_id"], []).append(
-            (record["op"], record["request_id"]))
-    if audit_history != wal_history:
-        diverged = sorted(
-            file_id for file_id in
-            set(wal_history) | set(audit_history)
-            if wal_history.get(file_id) != audit_history.get(file_id))
-        raise InvariantViolation(
-            f"audit history diverged from the WAL on files {diverged}")
+    # 6. Each shard's audit chain verifies untampered and its per-file
+    #    record sequence equals that shard's WAL-decoded op history.
+    #    (Per-file, not global: both logs append under the per-file
+    #    lock, so different files' records may interleave differently
+    #    between the two.)
+    for unit in cluster.units:
+        wal_payloads = wal_payloads_by_shard[unit.shard_id]
+        try:
+            audit_records = audit_mod.verify_log(unit.audit_path)
+        except audit_mod.AuditError as exc:
+            raise InvariantViolation(
+                f"shard {unit.shard_id}: audit chain failed to verify: "
+                f"{exc}")
+        if len(audit_records) != len(wal_payloads):
+            raise InvariantViolation(
+                f"shard {unit.shard_id}: audit log holds "
+                f"{len(audit_records)} records, WAL holds "
+                f"{len(wal_payloads)} -- a mutation escaped the trail")
+        wal_history: dict[int, list[tuple[str, int]]] = {}
+        for payload in wal_payloads:
+            request = msg.decode_message(unit.server.ctx, payload)
+            wal_history.setdefault(request.file_id, []).append(
+                (type(request).__name__,
+                 getattr(request, "request_id", 0)))
+        audit_history: dict[int, list[tuple[str, int]]] = {}
+        for record in audit_records:
+            audit_history.setdefault(record["file_id"], []).append(
+                (record["op"], record["request_id"]))
+        if audit_history != wal_history:
+            diverged = sorted(
+                file_id for file_id in
+                set(wal_history) | set(audit_history)
+                if wal_history.get(file_id) != audit_history.get(file_id))
+            raise InvariantViolation(
+                f"shard {unit.shard_id}: audit history diverged from "
+                f"the WAL on files {diverged}")
     report.invariants.append("audit-chain-matches-history")
 
 
@@ -647,7 +681,8 @@ def _verify_theorem2(tenant: _Tenant) -> None:
         adversary.seized_keys = list(seized.values())
         adversary.seized_keys.append(
             tenant._manager(name).master_key(file_id))
-        adversary.observe(snapshot_file(tenant.server, file_id))
+        adversary.observe(snapshot_file(
+            tenant.cluster.server_for(file_id), file_id))
         for item_id, _plaintext in tenant.killed.get(file_id, ()):
             if adversary.try_recover(item_id) is not None:
                 raise InvariantViolation(
@@ -678,7 +713,8 @@ def _verify_theorem2(tenant: _Tenant) -> None:
     # -- the meta trees: shredded master-key records stay dead ----------
     for meta_id, adversary in tenant.meta_adversaries.items():
         adversary.seized_keys = list(seized.values())
-        adversary.observe(snapshot_file(tenant.server, meta_id))
+        adversary.observe(snapshot_file(
+            tenant.cluster.server_for(meta_id), meta_id))
         for meta_item in tenant.meta_killed.get(meta_id, ()):
             if adversary.try_recover(meta_item) is not None:
                 raise InvariantViolation(

@@ -1,11 +1,13 @@
 """Seed-driven concurrency stress tests (tier: concurrency).
 
 Each test case is one full stress iteration: N client threads (plus
-keyless foreign readers) hammer one in-process server through a seeded
+keyless foreign readers) hammer a shard cluster (one shard here; the
+multi-shard axis lives in ``test_sharded_stress.py``) through a seeded
 random op mix, then every invariant in ``repro.sim.stress`` is checked
--- version accounting, surviving-data decryption, Theorem-2
-unrecoverability of deleted items at both tree levels, and WAL-replay
-state equality.
+-- version accounting, surviving-data decryption, cross-shard
+placement, Theorem-2 unrecoverability of deleted items at both tree
+levels, per-shard WAL-replay state equality, and per-shard audit-chain
+history.
 
 The iteration count scales with ``REPRO_STRESS_ITERATIONS`` (default 6
 per transport, CI's concurrency job raises it to 100 per transport for
@@ -24,11 +26,14 @@ import pytest
 
 from repro.sim.stress import StressConfig, StressReport, run_stress
 
+pytestmark = pytest.mark.stress
+
 ITERATIONS = int(os.environ.get("REPRO_STRESS_ITERATIONS", "6"))
 
 EXPECTED_INVARIANTS = [
     "version-accounting",
     "surviving-data-decrypts",
+    "cross-shard-placement",
     "theorem2-deleted-unrecoverable",
     "wal-replay-reproduces-state",
     "audit-chain-matches-history",

@@ -1,0 +1,224 @@
+"""Router and fan-out edge cases (tier: fs).
+
+Covers the consistent-hash ring (determinism, coverage, minimal
+movement on add/remove), shard isolation at the WAL level (two files on
+different shards never share a commit log), and the hard case the ISSUE
+names: a single shard crashing mid-``delete_records`` surfaces a typed
+per-shard outcome, the other shards' commits stay committed, and the
+crashed file recovers exactly-once through the client's deletion
+journal after a per-shard WAL replay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ProtocolError, UnknownItemError
+from repro.fs.filesystem import OutsourcedFileSystem
+from repro.fs.sharding import (HashRing, ShardFanoutError,
+                               ShardRoutingChannel)
+from repro.protocol import messages as msg
+from repro.server.cluster import ShardCluster
+from repro.server.server import CRASH_POINT_BEFORE_APPLY
+from repro.server.wal import CommitLog
+
+
+# ---------------------------------------------------------------------
+# The ring
+# ---------------------------------------------------------------------
+
+def test_ring_is_deterministic():
+    one = HashRing(range(4))
+    two = HashRing(range(4))
+    for file_id in range(1, 2000, 7):
+        assert one.shard_of(file_id) == two.shard_of(file_id)
+
+
+def test_ring_covers_every_shard():
+    ring = HashRing(range(8))
+    owners = {ring.shard_of(file_id) for file_id in range(1, 5000)}
+    assert owners == set(range(8))
+
+
+def test_ring_rejects_empty_and_unknown():
+    with pytest.raises(ValueError):
+        HashRing([])
+    ring = HashRing(range(2))
+    with pytest.raises(ValueError):
+        ring.remove_shard(7)
+
+
+def test_adding_a_shard_moves_only_keys_to_the_new_shard():
+    """Every file id stays resolvable across a rebalance, and the only
+    ids whose owner changes are the ones the new shard takes over --
+    the consistent-hashing contract (~1/N movement)."""
+    file_ids = list(range(1, 4000))
+    ring = HashRing(range(4))
+    before = ring.assignments(file_ids)
+    ring.add_shard(4)
+    after = ring.assignments(file_ids)
+    moved = [fid for fid in file_ids if before[fid] != after[fid]]
+    assert moved, "a 64-vnode shard must take over some keys"
+    assert all(after[fid] == 4 for fid in moved)
+    # ~1/5 of keys move to the new shard, give or take vnode variance.
+    assert len(moved) < len(file_ids) * 0.45
+
+
+def test_removing_a_shard_moves_only_its_keys():
+    file_ids = list(range(1, 4000))
+    ring = HashRing(range(5))
+    before = ring.assignments(file_ids)
+    ring.remove_shard(2)
+    after = ring.assignments(file_ids)
+    for fid in file_ids:
+        if before[fid] == 2:
+            assert after[fid] != 2
+        else:
+            assert after[fid] == before[fid]
+
+
+def test_ring_cannot_drop_last_shard():
+    ring = HashRing([0])
+    with pytest.raises(ValueError):
+        ring.remove_shard(0)
+
+
+# ---------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------
+
+def test_router_rejects_message_without_file_id():
+    with ShardCluster(2) as cluster:
+        with ShardRoutingChannel(cluster.shard_map()) as channel:
+            with pytest.raises(ProtocolError):
+                channel.request(object())
+
+
+def _routed_fs(cluster: ShardCluster) -> OutsourcedFileSystem:
+    return OutsourcedFileSystem(
+        channel=ShardRoutingChannel(cluster.shard_map()))
+
+
+def _spread_files(fs, cluster, count=10, records=(b"r0", b"r1", b"r2")):
+    """Create files until at least two distinct shards hold one."""
+    names = []
+    for i in range(count):
+        name = f"spread-{i}.txt"
+        fs.create_file(name, list(records))
+        names.append(name)
+    by_shard: dict[int, list[str]] = {}
+    for name in names:
+        by_shard.setdefault(fs.shard_of(name), []).append(name)
+    return names, by_shard
+
+
+def test_files_on_different_shards_never_share_a_wal():
+    """Each shard's commit log holds only its ring-assigned file ids --
+    the WAL-level isolation the per-shard recovery story relies on."""
+    cluster = ShardCluster(3, wal_factory=CommitLog, fresh=True)
+    try:
+        fs = _routed_fs(cluster)
+        _spread_files(fs, cluster)
+        seen: dict[int, set[int]] = {}
+        for unit in cluster.units:
+            log = CommitLog(unit.wal_path)
+            payloads = log.records()
+            log.close()
+            ids = {msg.decode_message(unit.server.ctx, payload).file_id
+                   for payload in payloads}
+            assert all(cluster.shard_of(fid) == unit.shard_id
+                       for fid in ids), (unit.shard_id, ids)
+            seen[unit.shard_id] = ids
+        shard_ids = sorted(seen)
+        for i in shard_ids:
+            for j in shard_ids:
+                if i < j:
+                    assert not (seen[i] & seen[j]), (i, j, seen)
+        assert sum(len(ids) for ids in seen.values()) > 0
+    finally:
+        cluster.stop()
+
+
+def test_shard_of_unknown_file_raises():
+    with ShardCluster(2) as cluster:
+        fs = _routed_fs(cluster)
+        with pytest.raises(UnknownItemError):
+            fs.shard_of("nope.txt")
+
+
+def test_delete_records_fans_out_and_merges():
+    with ShardCluster(4) as cluster:
+        fs = _routed_fs(cluster)
+        names, by_shard = _spread_files(fs, cluster)
+        assert len(by_shard) >= 2, "ring luck: widen _spread_files"
+        outcomes = fs.delete_records({name: [0] for name in names})
+        committed = sorted(n for o in outcomes.values()
+                           for n in o.committed)
+        assert committed == sorted(names)
+        assert all(o.ok for o in outcomes.values())
+        for name in names:
+            assert fs.open(name).read_all() == [b"r1", b"r2"]
+
+
+# ---------------------------------------------------------------------
+# Mid-fan-out shard crash + journal recovery
+# ---------------------------------------------------------------------
+
+def test_single_shard_crash_mid_fanout_recovers_via_journal():
+    """The ISSUE's hard case end to end.
+
+    A shard crashes after WAL-appending a batched deletion commit but
+    before applying it.  ``delete_records`` must surface a
+    :class:`ShardFanoutError` whose per-shard outcomes separate the
+    committed files from the failed one; per-shard WAL replay rebuilds
+    the crashed shard (applying the logged commit); and the client's
+    journalled ``resume_delete_many`` finishes the deletion exactly
+    once -- the server answers the byte-identical resend from its
+    replay cache.
+    """
+    cluster = ShardCluster(3, wal_factory=CommitLog, fresh=True)
+    try:
+        fs = _routed_fs(cluster)
+        names, by_shard = _spread_files(fs, cluster, count=12)
+        meta_shard = cluster.shard_of(
+            fs.group_manager_of(names[0]).meta_file_id)
+        # The crash victim must not host the meta tree (the survivors'
+        # master-key rotations still need it), and the survivor must
+        # live on a different shard than the victim.
+        crash_shard = next(s for s in sorted(by_shard)
+                           if s != meta_shard)
+        survivor_shard = next(s for s in sorted(by_shard)
+                              if s != crash_shard)
+        victim = by_shard[crash_shard][0]
+        survivor = by_shard[survivor_shard][0]
+
+        cluster.units[crash_shard].server.arm_crash(
+            CRASH_POINT_BEFORE_APPLY)
+        with pytest.raises(ShardFanoutError) as excinfo:
+            fs.delete_records({survivor: [0, 1], victim: [0, 1]})
+        error = excinfo.value
+        assert error.committed == [survivor]
+        assert list(error.failed) == [victim]
+        assert "SimulatedCrash" in error.failed[victim]
+        outcome = error.outcomes[crash_shard]
+        assert not outcome.ok and victim in outcome.failed
+
+        # The survivor's commit is final: per-shard atomicity.
+        assert fs.open(survivor).read_all() == [b"r2"]
+        # The victim is torn: commit WAL-logged on its shard but not
+        # applied, client journal still holding the pending batch.
+        assert fs.open(victim).read_all() == [b"r0", b"r1", b"r2"]
+
+        # Per-shard crash recovery: replay ONLY the crashed shard's WAL
+        # (siblings keep serving untouched), then resume the deletion
+        # from the client's journal.
+        cluster.recover_shard(crash_shard)
+        fs.open(victim).resume_delete_many([0, 1])
+        assert fs.open(victim).read_all() == [b"r2"]
+        assert fs.open(survivor).read_all() == [b"r2"]
+
+        # Nothing pending: a second resume has no journal entry.
+        with pytest.raises(UnknownItemError):
+            fs.open(victim).resume_delete_many([0])
+    finally:
+        cluster.stop()

@@ -12,6 +12,8 @@ import json
 import struct
 import time
 
+import pytest
+
 from repro import obs
 from repro.client.client import AssuredDeletionClient
 from repro.crypto.rng import DeterministicRandom
@@ -20,6 +22,8 @@ from repro.protocol import messages as msg
 from repro.protocol.aio import TAG_FLAG, AsyncTcpChannel, AsyncTcpServerHost
 from repro.protocol.tcp import RetryPolicy
 from repro.server.server import CloudServer
+
+pytestmark = pytest.mark.socket
 
 _LEN = struct.Struct(">I")
 _TAG = struct.Struct(">Q")

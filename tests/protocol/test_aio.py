@@ -23,6 +23,8 @@ from repro.protocol.faults import ChannelError
 from repro.protocol.tcp import RetryPolicy
 from repro.server.server import CloudServer
 
+pytestmark = pytest.mark.socket
+
 _LEN = struct.Struct(">I")
 _TAG = struct.Struct(">Q")
 

@@ -16,6 +16,8 @@ from repro.protocol.faults import (CRASH_BEFORE_APPLY, DELAY, DROP_REQUEST,
 from repro.server.server import CloudServer
 from repro.sim.threat import Adversary, snapshot_file
 
+pytestmark = pytest.mark.slow
+
 
 def make_pair(schedule, seed="faults"):
     server = CloudServer()

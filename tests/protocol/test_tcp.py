@@ -12,6 +12,8 @@ from repro.protocol.faults import ChannelError
 from repro.protocol.tcp import RetryPolicy, TcpChannel, TcpServerHost
 from repro.server.server import CloudServer
 
+pytestmark = pytest.mark.socket
+
 
 @pytest.fixture
 def hosted_server():

@@ -15,6 +15,8 @@ import pytest
 
 from repro.protocol.aio import AsyncTcpServerHost
 
+pytestmark = pytest.mark.socket
+
 _PATH = os.path.join(os.path.dirname(__file__), "test_tcp.py")
 _SPEC = importlib.util.spec_from_file_location("repro_tcp_suite_rerun", _PATH)
 tcp_suite = importlib.util.module_from_spec(_SPEC)

@@ -22,6 +22,8 @@ from repro.server.server import CloudServer
 from repro.server.wal import CommitLog, checkpoint, recover_server
 from repro.sim.threat import snapshot_file
 
+pytestmark = pytest.mark.slow
+
 CRASH_POINTS = [CRASH_BEFORE_APPLY, CRASH_AFTER_APPLY]
 
 

@@ -17,6 +17,8 @@ from repro.server.wal import (CommitLog, checkpoint, fsync_directory,
                               recover_server)
 from repro.sim.threat import snapshot_file
 
+pytestmark = pytest.mark.slow
+
 HEADER = b"RWAL" + struct.pack(">H", 1)
 
 

@@ -79,8 +79,8 @@ def test_stress_subcommand(tmp_path):
     assert report["seed"] == "cli-test"
     assert report["invariants"] == [
         "version-accounting", "surviving-data-decrypts",
-        "theorem2-deleted-unrecoverable", "wal-replay-reproduces-state",
-        "audit-chain-matches-history"]
+        "cross-shard-placement", "theorem2-deleted-unrecoverable",
+        "wal-replay-reproduces-state", "audit-chain-matches-history"]
 
     again = vault(tmp_path, "stress", "--seed", "cli-test", "--workers", "2",
                   "--ops", "6")
