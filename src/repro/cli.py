@@ -22,6 +22,10 @@ Commands::
     repro-vault drop <name>                 # assured whole-file deletion
     repro-vault serve --port 9000           # expose the vault over TCP
     repro-vault serve --port 9000 --durable # crash-safe: WAL + checkpoints
+    repro-vault serve --durable --backend sqlite
+                                            # out-of-core: files page in
+                                            #   from a storage engine
+    repro-vault compact                     # offline flush + WAL compact
     repro-vault serve --metrics-port 9100   # + /metrics /healthz /readyz
                                             #   /statusz over HTTP
     repro-vault serve --max-conns 64        # bound concurrent connections
@@ -245,6 +249,10 @@ def cmd_serve(vault: Vault, args) -> int:
     vault.load()
     if vault.fs.server is None:
         raise ReproError("this vault was created against an external server")
+    if args.backend != "memory" and not args.durable:
+        raise ReproError(
+            f"--backend {args.backend} requires --durable (the engine "
+            f"file replaces the checkpoint image)")
     if args.use_async:
         from repro.protocol.aio import AsyncTcpServerHost as host_cls
     else:
@@ -280,18 +288,44 @@ def cmd_serve(vault: Vault, args) -> int:
         # Crash-safe mode: state lives in an image + write-ahead log under
         # the server directory, not in the pickle snapshot.  First durable
         # serve bootstraps the image from the vault; later ones recover
-        # from image + WAL (surviving kill -9 mid-commit).
+        # from image + WAL (surviving kill -9 mid-commit).  With a
+        # non-memory --backend the image is replaced by a storage-engine
+        # file and files page in on demand (O(working-set) memory).
         from repro.server.persistence import save_server
         from repro.server.wal import checkpoint, recover_server
         image = os.path.join(vault.server_dir, "server.img")
         wal_path = os.path.join(vault.server_dir, "server.wal")
-        if not os.path.exists(image) and not os.path.exists(wal_path):
-            save_server(server, image)
-        server = recover_server(image, wal_path,
-                                group_commit=args.group_commit)
+        if args.backend != "memory":
+            from repro.server.engine import engine_path, make_engine
+            engine_file = engine_path(vault.server_dir, args.backend)
+            fresh = (not os.path.exists(engine_file)
+                     and not os.path.exists(wal_path))
+            engine = make_engine(args.backend, engine_file)
+            if fresh:
+                # Bootstrap: write the vault's files into the engine once
+                # (no WAL attached yet, so this is a pure engine flush).
+                server.attach_engine(engine)
+                server.compact_storage()
+            server = recover_server(None, wal_path,
+                                    group_commit=args.group_commit,
+                                    engine=engine,
+                                    cache_nodes=args.cache_nodes)
+            _print(f"durable state: {engine_file} ({args.backend} engine) "
+                   f"+ {wal_path}"
+                   + (" (group commit)" if args.group_commit else ""))
+        else:
+            if not os.path.exists(image) and not os.path.exists(wal_path):
+                save_server(server, image)
+            server = recover_server(image, wal_path,
+                                    group_commit=args.group_commit)
+            _print(f"durable state: {image} + {wal_path}"
+                   + (" (group commit)" if args.group_commit else ""))
         HEALTH.register("wal", server.wal.health)
-        _print(f"durable state: {image} + {wal_path}"
-               + (" (group commit)" if args.group_commit else ""))
+        rec = server.last_recovery
+        _print(f"cold start {rec['load_seconds'] + rec['replay_seconds']:.3f}s"
+               f" (state load {rec['load_seconds']:.3f}s + WAL replay of "
+               f"{rec['replayed_records']} record(s) "
+               f"{rec['replay_seconds']:.3f}s)")
 
     audit_log = None
     if args.audit:
@@ -346,7 +380,8 @@ def _serve_sharded(vault: Vault, args, metrics_server) -> int:
         args.shards, params=vault.fs.params, transport=transport,
         data_dir=shard_dir, durable=args.durable, audit=args.audit,
         group_commit=args.group_commit, max_conns=args.max_conns,
-        base_port=args.port)
+        base_port=args.port, storage_backend=args.backend,
+        cache_nodes=args.cache_nodes)
     if args.durable:
         # First durable serve splits the vault's files across the ring
         # and checkpoints each shard; later serves recover every shard
@@ -388,6 +423,50 @@ def _serve_sharded(vault: Vault, args, metrics_server) -> int:
     return 0
 
 
+def cmd_compact(vault: Vault, args) -> int:
+    """Offline flush + WAL compaction for an engine-backed vault.
+
+    Opens the storage engine and WAL under the server directory (the
+    server must not be running), replays outstanding WAL records into
+    the engine, flushes, truncates the WAL behind a snapshot marker,
+    and asks the backend to reclaim dead space (SQLite ``VACUUM`` /
+    log-file rewrite).  After this, the next ``serve --durable
+    --backend ...`` cold-starts with an empty replay.
+    """
+    from repro.server.engine import BACKENDS, engine_path, make_engine
+    from repro.server.wal import recover_server
+
+    backend = args.backend
+    if backend is None:
+        # Autodetect from which engine file exists under the server dir.
+        candidates = [b for b in BACKENDS if b != "memory"
+                      and os.path.exists(engine_path(vault.server_dir, b))]
+        if len(candidates) != 1:
+            raise ReproError(
+                "cannot autodetect the storage backend under "
+                f"{vault.server_dir!r}; pass --backend log|sqlite")
+        backend = candidates[0]
+    engine_file = engine_path(vault.server_dir, backend)
+    if not os.path.exists(engine_file):
+        raise ReproError(
+            f"no {backend} engine state at {engine_file!r}; serve with "
+            f"--durable --backend {backend} first")
+    wal_path = os.path.join(vault.server_dir, "server.wal")
+    engine = make_engine(backend, engine_file)
+    try:
+        server = recover_server(None, wal_path, engine=engine)
+        stats = server.compact_storage()
+        engine.compact()  # reclaim dead space in the backend file itself
+        server.wal.close()
+    finally:
+        engine.close()
+    stats["backend"] = backend
+    stats["replayed_records"] = server.last_recovery["replayed_records"]
+    stats["seconds"] = round(stats["seconds"], 6)
+    _print(json.dumps(stats, indent=2))
+    return 0
+
+
 def cmd_stress(_vault: Vault, args) -> int:
     """Run one seeded concurrency stress iteration and report it.
 
@@ -400,7 +479,8 @@ def cmd_stress(_vault: Vault, args) -> int:
     config = StressConfig(seed=args.seed, workers=args.workers,
                           ops_per_worker=args.ops, readers=args.readers,
                           transport=args.transport, shards=args.shards,
-                          toggle_caches=args.toggle_caches)
+                          toggle_caches=args.toggle_caches,
+                          backend=args.backend)
     try:
         report = run_stress(config)
     except AssertionError as exc:
@@ -577,6 +657,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--durable", action="store_true",
                        help="serve crash-safe state (WAL + checkpoint image "
                             "under the server directory)")
+    serve.add_argument("--backend", choices=("memory", "log", "sqlite"),
+                       default="memory",
+                       help="storage engine for durable state: 'memory' "
+                            "keeps everything resident (checkpoint image), "
+                            "'log'/'sqlite' page files in from a single "
+                            "engine file on demand (requires --durable)")
+    serve.add_argument("--cache-nodes", type=int, default=65536,
+                       help="bound on cached tree nodes for non-memory "
+                            "backends (0 disables the cache)")
     serve.add_argument("--metrics-port", type=int, default=None,
                        help="also expose Prometheus metrics over HTTP on "
                             "this port (0 = ephemeral)")
@@ -607,6 +696,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="always export spans at least this slow, "
                             "even when sampled out")
     serve.set_defaults(func=cmd_serve)
+    compact = sub.add_parser(
+        "compact", help="offline flush + WAL compaction for an "
+                        "engine-backed vault (server must be stopped)")
+    compact.add_argument("--backend", choices=("log", "sqlite"),
+                         default=None,
+                         help="storage backend (default: autodetect from "
+                              "the engine file under the server directory)")
+    compact.set_defaults(func=cmd_compact)
     stress = sub.add_parser(
         "stress", help="run one seeded concurrency stress iteration")
     stress.add_argument("--seed", default="cli")
@@ -622,6 +719,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "consistent-hash router")
     stress.add_argument("--toggle-caches", action="store_true",
                         help="randomly flip the hot-path caches mid-run")
+    stress.add_argument("--backend", choices=("memory", "log", "sqlite"),
+                        default="memory",
+                        help="storage engine behind the stressed shards "
+                             "(non-memory adds mid-run WAL compaction)")
     stress.add_argument("-v", "--verbose", action="store_true",
                         help="pretty-print the report")
     stress.set_defaults(func=cmd_stress)

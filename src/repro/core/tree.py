@@ -294,6 +294,20 @@ class ModulationTree:
         return tree
 
     @classmethod
+    def wrap(cls, store: ModulatorStore, n_leaves: int,
+             item_map: ItemMap) -> "ModulationTree":
+        """Wrap a store and item map that already hold a tree's state.
+
+        The storage-engine door: paged stores materialise nodes on
+        demand, so -- unlike :meth:`adopt` -- nothing is enumerated or
+        copied here; the tree is usable after O(1) work regardless of
+        ``n_leaves``.
+        """
+        tree = cls(store, item_map=item_map)
+        tree._n = n_leaves
+        return tree
+
+    @classmethod
     def adopt_arithmetic(cls, store: ModulatorStore, n_leaves: int,
                          base_item_id: int) -> "ModulationTree":
         """Wrap a store with the implicit item layout ``base+i -> n+i``.
@@ -357,6 +371,21 @@ class ModulationTree:
             slot //= 2
         path.reverse()
         return path
+
+    @staticmethod
+    def slot_path(slot: int) -> str:
+        """Branch directions from the root to ``slot``, as a bit string.
+
+        Heap numbering makes the slot number *itself* the path encoding:
+        after the leading 1 bit, each bit of ``slot`` is one branch
+        decision (0 = left child ``2s``, 1 = right child ``2s+1``).  So
+        ``slot_path(11) == "011"`` -- left, right, right -- and storage
+        engines indexing nodes by ``(file_id, slot)`` are indexing by
+        ``(file_id, node_path)`` for free.
+        """
+        if slot < 1:
+            raise StructureError(f"slot {slot} has no root path")
+        return bin(slot)[3:]
 
     @staticmethod
     def union_path_slots(target_slots: Sequence[int]) -> list[int]:

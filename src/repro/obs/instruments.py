@@ -141,6 +141,40 @@ CHECKPOINT_IMAGE_BYTES = REGISTRY.gauge(
 RECOVERIES = REGISTRY.counter(
     "repro_recoveries_total",
     "Server recoveries from checkpoint image + WAL replay")
+COLD_START_SECONDS = REGISTRY.gauge(
+    "repro_server_cold_start_seconds",
+    "Wall time of the last recovery (state load + WAL replay)")
+RECOVERY_CHECKPOINT_SECONDS = REGISTRY.gauge(
+    "repro_recovery_checkpoint_seconds",
+    "Checkpoint/engine load portion of the last recovery")
+RECOVERY_REPLAY_SECONDS = REGISTRY.gauge(
+    "repro_recovery_replay_seconds",
+    "WAL replay portion of the last recovery")
+
+# ---------------------------------------------------------------------
+# Storage engine (out-of-core tree paging + WAL compaction)
+# ---------------------------------------------------------------------
+
+NODE_CACHE = REGISTRY.counter(
+    "repro_node_cache_total",
+    "Paged tree-node cache lookups, by outcome (hit or miss)",
+    ("outcome",))
+RESIDENT_NODES = REGISTRY.gauge(
+    "repro_resident_nodes",
+    "Tree nodes currently held in the paging LRU cache")
+STORAGE_FLUSHES = REGISTRY.counter(
+    "repro_storage_flushes_total",
+    "Incremental dirty-state flushes to the storage engine")
+STORAGE_FLUSH_SECONDS = REGISTRY.histogram(
+    "repro_storage_flush_seconds",
+    "Wall time of one dirty-state flush to the storage engine",
+    (), DISK_BUCKETS)
+STORAGE_DIRTY_FLUSHED = REGISTRY.counter(
+    "repro_storage_dirty_flushed_total",
+    "Dirty records (nodes, items, ciphertexts) flushed to the engine")
+WAL_COMPACTIONS = REGISTRY.counter(
+    "repro_wal_compactions_total",
+    "WAL compactions (snapshot marker written, history truncated)")
 
 # ---------------------------------------------------------------------
 # Client operations (bridged from sim.metrics OpRecords)

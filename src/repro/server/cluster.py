@@ -76,6 +76,9 @@ class ShardUnit:
         self.wal: CommitLog | None = None
         self.audit = None
         self.host = None
+        #: Out-of-core storage engine (``storage_backend != "memory"``).
+        self.engine = None
+        self.engine_path: Optional[str] = None
         self.backend = _ShardBackend(self)
 
     @property
@@ -123,7 +126,10 @@ class ShardCluster:
                  base_port: int = 0,
                  vnodes: int = DEFAULT_VNODES,
                  wal_factory: Callable[[str], CommitLog] | None = None,
-                 fresh: bool = False) -> None:
+                 fresh: bool = False,
+                 storage_backend: str = "memory",
+                 cache_nodes: int = 65536) -> None:
+        from repro.server.engine import BACKENDS, engine_path, make_engine
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if transport not in TRANSPORTS:
@@ -131,11 +137,15 @@ class ShardCluster:
         if durable and wal_factory is not None:
             raise ValueError("durable recovery and wal_factory are "
                              "mutually exclusive")
+        if storage_backend not in BACKENDS:
+            raise ValueError(f"unknown storage backend {storage_backend!r}")
         self.params = params if params is not None else Params()
         self.transport = transport
         self.group_commit = group_commit
         self.max_conns = max_conns
         self.base_port = base_port
+        self.storage_backend = storage_backend
+        self.cache_nodes = cache_nodes
         self.ring = HashRing(range(shards), vnodes=vnodes)
         if data_dir is None:
             import tempfile
@@ -150,18 +160,28 @@ class ShardCluster:
             directory = os.path.join(data_dir, f"shard-{shard_id}")
             os.makedirs(directory, exist_ok=True)
             unit = ShardUnit(shard_id, directory)
+            if storage_backend != "memory":
+                unit.engine_path = engine_path(directory, storage_backend)
             if fresh:
                 self._wipe(unit)
             if os.path.exists(unit.image_path) or \
-                    os.path.exists(unit.wal_path):
+                    os.path.exists(unit.wal_path) or \
+                    (unit.engine_path is not None
+                     and os.path.exists(unit.engine_path)):
                 self.had_state = True
+            if unit.engine_path is not None:
+                unit.engine = make_engine(storage_backend, unit.engine_path)
             if durable:
                 unit.server = recover_server(
                     unit.image_path, unit.wal_path, self.params,
-                    group_commit=group_commit)
+                    group_commit=group_commit, engine=unit.engine,
+                    cache_nodes=cache_nodes)
                 unit.wal = unit.server.wal
             else:
                 unit.server = CloudServer(self.params)
+                if unit.engine is not None:
+                    unit.server.attach_engine(unit.engine,
+                                              cache_nodes=cache_nodes)
                 if wal_factory is not None:
                     unit.wal = wal_factory(unit.wal_path)
                     unit.server.attach_wal(unit.wal)
@@ -174,8 +194,14 @@ class ShardCluster:
     @staticmethod
     def _wipe(unit: ShardUnit) -> None:
         from repro.obs import audit as audit_mod
-        for stale in (unit.wal_path, unit.image_path, unit.audit_path,
-                      audit_mod.head_path_for(unit.audit_path)):
+        stale_paths = [unit.wal_path, unit.image_path, unit.audit_path,
+                       audit_mod.head_path_for(unit.audit_path)]
+        if unit.engine_path is not None:
+            # SQLite leaves journal/WAL sidecars next to the database;
+            # the log engine leaves a compaction temp on a crash.
+            stale_paths.extend(unit.engine_path + suffix for suffix in
+                               ("", ".tmp", "-journal", "-wal", "-shm"))
+        for stale in stale_paths:
             if os.path.exists(stale):
                 os.unlink(stale)
 
@@ -209,6 +235,8 @@ class ShardCluster:
                 unit.wal.close()
             if unit.audit is not None:
                 unit.audit.close()
+            if unit.engine is not None:
+                unit.engine.close()
 
     def __enter__(self) -> "ShardCluster":
         return self.start()
@@ -283,24 +311,51 @@ class ShardCluster:
         return placed
 
     def checkpoint(self) -> None:
-        """Checkpoint every shard (image write + WAL reset, per shard)."""
+        """Checkpoint every shard (image write + WAL reset, per shard).
+
+        Engine-backed shards checkpoint incrementally: dirty state
+        flushes to the engine and the WAL is compacted (see
+        :meth:`CloudServer.compact_storage`).
+        """
         for unit in self.units:
             if unit.wal is not None:
                 checkpoint(unit.server, unit.image_path)
 
+    def compact(self) -> list[dict]:
+        """Flush + WAL-compact every engine-backed shard; per-shard stats.
+
+        Safe against live traffic: each shard's ``compact_storage``
+        holds that shard's registry lock exclusively, so in-flight
+        requests on other shards are unaffected and requests on the
+        compacting shard simply queue.
+        """
+        stats = []
+        for unit in self.units:
+            if unit.engine is not None:
+                stats.append(unit.server.compact_storage())
+        return stats
+
     def recover_shard(self, shard_id: int) -> CloudServer:
-        """Rebuild one shard from its image + WAL (crash recovery).
+        """Rebuild one shard from its durable state + WAL (crash recovery).
 
         The unit's backend resolves the server per request, so a host
         serving this shard picks up the recovered instance immediately;
-        other shards are untouched.
+        other shards are untouched.  An engine-backed shard reopens its
+        engine file; recovery replays only the records since its last
+        compaction.
         """
         unit = self.units[shard_id]
         if unit.wal is not None:
             unit.wal.close()
+        if unit.engine is not None:
+            unit.engine.close()
+            from repro.server.engine import make_engine
+            unit.engine = make_engine(self.storage_backend, unit.engine_path)
         unit.server = recover_server(unit.image_path, unit.wal_path,
                                      self.params,
-                                     group_commit=self.group_commit)
+                                     group_commit=self.group_commit,
+                                     engine=unit.engine,
+                                     cache_nodes=self.cache_nodes)
         unit.wal = unit.server.wal
         if unit.audit is not None:
             unit.server.attach_audit(unit.audit)

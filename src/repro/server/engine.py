@@ -1,0 +1,913 @@
+"""Out-of-core storage engines: the ``TreeStore`` backend family.
+
+The in-memory server keeps every modulator, item mapping, and ciphertext
+of every file resident.  A :class:`TreeStore` engine moves that state
+out-of-core: the server materialises only the root-to-leaf paths a
+request touches (see :mod:`repro.server.paging`) and flushes dirty nodes
+back at compaction time, so resident memory is O(active working set)
+instead of O(n).
+
+Three engines share one interface:
+
+* :class:`MemoryTreeStore` -- dict-backed; the default and the twin-world
+  reference the durable engines are tested against.
+* :class:`LogTreeStore` -- a single append-only log-structured file.
+  Every flush appends the dirty records followed by one COMMIT record
+  and fsyncs; the opening scan discards any uncommitted tail, so a crash
+  mid-flush atomically reverts to the previous durable state (the WAL
+  then replays the lost tail through the normal handlers).  Values are
+  read back by offset (``os.pread``), never held resident.
+* :class:`SQLiteTreeStore` -- a single-file SQLite schema with per-file
+  node, item, and ciphertext tables.  The node table's primary key
+  ``(file_id, kind, slot)`` *is* the ``(file_id, node_path)`` index: a
+  heap slot number encodes the root path bit-by-bit (see
+  :meth:`repro.core.tree.ModulationTree.slot_path`), so a path lookup is
+  a point query per level.  Dirty state accumulates in one transaction
+  per flush; a crash rolls it back via SQLite's journal.
+
+Addressing
+----------
+
+Tree nodes are addressed ``(file_id, kind, slot)`` with ``kind`` one of
+:data:`KIND_LINK` / :data:`KIND_LEAF` -- the same slot numbering the
+:class:`~repro.core.modstore.ModulatorStore` interface uses.  Items map
+bidirectionally (``item_id <-> slot``); ciphertexts are keyed by item
+id; per-file metadata is ``(version, n_leaves)``.  The request-id replay
+table persists the idempotency cache so retried commits stay
+exactly-once across an engine-backed restart (the role the checkpoint
+image's replay section plays for pickle persistence).
+
+Write batches
+-------------
+
+``write_nodes`` / ``write_items`` / ``write_ciphertexts`` stage changes;
+``flush`` is the durability barrier.  Between the two, reads observe the
+staged values (same-process read-your-writes); after a crash, everything
+since the last ``flush`` is gone -- the contract the server's
+``compact_storage`` relies on when it truncates the WAL only after
+``flush`` returns.
+
+``write_items`` applies in two passes (all old mappings removed before
+any new mapping lands) so a batch that moves item A onto the slot item B
+just vacated cannot corrupt the reverse index regardless of entry order.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import sqlite3
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.errors import ProtocolError
+
+#: Node kinds (the engine-level encoding of tree.LINK / tree.LEAF).
+KIND_LINK = 0
+KIND_LEAF = 1
+
+#: Engine backends selectable via ``make_engine`` and ``--backend``.
+BACKENDS = ("memory", "log", "sqlite")
+
+#: On-disk filename per durable backend (under a server's state dir).
+ENGINE_FILENAMES = {"log": "state.log", "sqlite": "state.db"}
+
+
+@dataclass
+class FileMeta:
+    """Per-file engine metadata: tree version and shape."""
+
+    file_id: int
+    version: int
+    n_leaves: int
+
+
+class TreeStore(abc.ABC):
+    """Out-of-core storage for modulation trees, items, and ciphertexts."""
+
+    # -- per-file metadata ---------------------------------------------
+
+    @abc.abstractmethod
+    def get_meta(self, file_id: int) -> Optional[FileMeta]:
+        """Return the file's metadata, or ``None`` if unknown."""
+
+    @abc.abstractmethod
+    def set_meta(self, meta: FileMeta) -> None:
+        """Create or update a file's metadata."""
+
+    @abc.abstractmethod
+    def drop_file(self, file_id: int) -> None:
+        """Discard every record of ``file_id`` (idempotent)."""
+
+    @abc.abstractmethod
+    def file_ids(self) -> list[int]:
+        """Ids of every stored file (sorted)."""
+
+    # -- tree nodes -----------------------------------------------------
+
+    @abc.abstractmethod
+    def get_node(self, file_id: int, kind: int, slot: int) -> bytes:
+        """Return one modulator value (raises ``KeyError`` if absent)."""
+
+    @abc.abstractmethod
+    def write_nodes(self, file_id: int,
+                    entries: Iterable[tuple[int, int, Optional[bytes]]]) -> None:
+        """Stage ``(kind, slot, value)`` writes; ``value=None`` deletes."""
+
+    # -- item map -------------------------------------------------------
+
+    @abc.abstractmethod
+    def get_slot(self, file_id: int, item_id: int) -> Optional[int]:
+        """Leaf slot of ``item_id``, or ``None`` if the item is unknown."""
+
+    @abc.abstractmethod
+    def get_item(self, file_id: int, slot: int) -> Optional[int]:
+        """Item id at leaf ``slot``, or ``None`` if the slot is empty."""
+
+    @abc.abstractmethod
+    def write_items(self, file_id: int,
+                    entries: Iterable[tuple[int, Optional[int]]]) -> None:
+        """Stage ``(item_id, slot)`` mappings; ``slot=None`` removes."""
+
+    # -- ciphertexts ----------------------------------------------------
+
+    @abc.abstractmethod
+    def get_ciphertext(self, file_id: int, item_id: int) -> bytes:
+        """Return one ciphertext (raises ``KeyError`` if absent)."""
+
+    @abc.abstractmethod
+    def write_ciphertexts(self, file_id: int,
+                          entries: Iterable[tuple[int, Optional[bytes]]]) -> None:
+        """Stage ``(item_id, ciphertext)`` writes; ``None`` deletes."""
+
+    # -- replay table ---------------------------------------------------
+
+    @abc.abstractmethod
+    def replay_entries(self) -> list[tuple[int, bytes]]:
+        """Persisted ``(request_id, encoded reply)`` idempotency entries."""
+
+    @abc.abstractmethod
+    def set_replay_entries(self,
+                           entries: Iterable[tuple[int, bytes]]) -> None:
+        """Replace the persisted idempotency table (eviction order kept)."""
+
+    # -- lifecycle ------------------------------------------------------
+
+    @abc.abstractmethod
+    def flush(self) -> None:
+        """Durability barrier: staged writes survive a crash after this."""
+
+    def compact(self) -> None:
+        """Reclaim dead space (optional; durable backends override)."""
+
+    def close(self) -> None:
+        """Flush and release resources."""
+        self.flush()
+
+
+class MemoryTreeStore(TreeStore):
+    """Dict-backed engine: the default, and the twin-world reference."""
+
+    def __init__(self) -> None:
+        self._meta: dict[int, FileMeta] = {}
+        self._nodes: dict[int, dict[tuple[int, int], bytes]] = {}
+        self._slot_of: dict[int, dict[int, int]] = {}
+        self._item_at: dict[int, dict[int, int]] = {}
+        self._cts: dict[int, dict[int, bytes]] = {}
+        self._replay: list[tuple[int, bytes]] = []
+
+    def get_meta(self, file_id: int) -> Optional[FileMeta]:
+        meta = self._meta.get(file_id)
+        return None if meta is None else FileMeta(meta.file_id, meta.version,
+                                                 meta.n_leaves)
+
+    def set_meta(self, meta: FileMeta) -> None:
+        self._meta[meta.file_id] = FileMeta(meta.file_id, meta.version,
+                                            meta.n_leaves)
+
+    def drop_file(self, file_id: int) -> None:
+        for table in (self._meta, self._nodes, self._slot_of,
+                      self._item_at, self._cts):
+            table.pop(file_id, None)
+
+    def file_ids(self) -> list[int]:
+        return sorted(self._meta)
+
+    def get_node(self, file_id: int, kind: int, slot: int) -> bytes:
+        return self._nodes[file_id][(kind, slot)]
+
+    def write_nodes(self, file_id, entries) -> None:
+        nodes = self._nodes.setdefault(file_id, {})
+        for kind, slot, value in entries:
+            if value is None:
+                nodes.pop((kind, slot), None)
+            else:
+                nodes[(kind, slot)] = bytes(value)
+
+    def get_slot(self, file_id: int, item_id: int) -> Optional[int]:
+        return self._slot_of.get(file_id, {}).get(item_id)
+
+    def get_item(self, file_id: int, slot: int) -> Optional[int]:
+        return self._item_at.get(file_id, {}).get(slot)
+
+    def write_items(self, file_id, entries) -> None:
+        slot_of = self._slot_of.setdefault(file_id, {})
+        item_at = self._item_at.setdefault(file_id, {})
+        pairs = list(entries)
+        # Two passes: clear every touched item's old slot first, so a
+        # move onto a just-vacated slot is order-independent.
+        for item_id, _slot in pairs:
+            old = slot_of.pop(item_id, None)
+            if old is not None and item_at.get(old) == item_id:
+                item_at.pop(old, None)
+        for item_id, slot in pairs:
+            if slot is not None:
+                slot_of[item_id] = slot
+                item_at[slot] = item_id
+
+    def get_ciphertext(self, file_id: int, item_id: int) -> bytes:
+        return self._cts[file_id][item_id]
+
+    def write_ciphertexts(self, file_id, entries) -> None:
+        cts = self._cts.setdefault(file_id, {})
+        for item_id, value in entries:
+            if value is None:
+                cts.pop(item_id, None)
+            else:
+                cts[item_id] = bytes(value)
+
+    def replay_entries(self) -> list[tuple[int, bytes]]:
+        return list(self._replay)
+
+    def set_replay_entries(self, entries) -> None:
+        self._replay = [(rid, bytes(blob)) for rid, blob in entries]
+
+    def flush(self) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------
+# Append-only log-structured engine
+# ---------------------------------------------------------------------
+
+_LOG_MAGIC = b"RSTR"
+_LOG_VERSION = 1
+_LOG_HEADER = _LOG_MAGIC + struct.pack(">H", _LOG_VERSION)
+_FRAME = struct.Struct(">II")  # payload length | CRC-32 of payload
+
+_TAG_META = 0x01
+_TAG_NODE = 0x02
+_TAG_ITEM = 0x03
+_TAG_CT = 0x04
+_TAG_DROP = 0x05
+_TAG_REPLAY = 0x06
+_TAG_COMMIT = 0x11
+
+_META_REC = struct.Struct(">BQQQ")      # tag | file_id | version | n_leaves
+_NODE_HDR = struct.Struct(">BQBQB")     # tag | file_id | kind | slot | present
+_ITEM_REC = struct.Struct(">BQQBQ")     # tag | file_id | item_id | present | slot
+_CT_HDR = struct.Struct(">BQQB")        # tag | file_id | item_id | present
+_DROP_REC = struct.Struct(">BQ")        # tag | file_id
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+
+
+class _FileIndex:
+    """In-memory index of one file's records (values stay on disk)."""
+
+    __slots__ = ("meta", "nodes", "slot_of", "item_at", "cts")
+
+    def __init__(self, meta: FileMeta) -> None:
+        self.meta = meta
+        #: (kind, slot) -> (value offset, value length) in the log file.
+        self.nodes: dict[tuple[int, int], tuple[int, int]] = {}
+        self.slot_of: dict[int, int] = {}
+        self.item_at: dict[int, int] = {}
+        #: item_id -> (value offset, value length).
+        self.cts: dict[int, tuple[int, int]] = {}
+
+
+class LogTreeStore(TreeStore):
+    """Append-only log-structured engine (one file, offset-indexed).
+
+    Record stream: ``header | (u32 len | u32 crc | payload)*``.  Payload
+    tags cover metadata, nodes, items, ciphertexts, whole-file drops,
+    the replay table, and COMMIT markers.  Only records preceding a
+    COMMIT are live: the opening scan truncates everything after the
+    last committed offset, which makes each ``flush`` (records + COMMIT
+    + fsync) atomic under crash.
+
+    The index keeps offsets, not values; node and ciphertext reads are
+    single ``pread`` calls.  Item mappings and metadata are small
+    integers and stay resident -- the documented scaling limit of this
+    backend versus SQLite (see ``docs/STORAGE.md``).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.RLock()
+        self._index: dict[int, _FileIndex] = {}
+        #: (offset, length) of the latest replay-table record, if any.
+        self._replay_blob: Optional[tuple[int, int]] = None
+        self._open()
+
+    # -- open / scan ----------------------------------------------------
+
+    def _open(self) -> None:
+        self._index = {}
+        self._replay_blob = None
+        end = self._scan()
+        self._append = open(self.path, "ab")
+        if self._append.tell() != end:  # torn/uncommitted tail
+            self._append.truncate(end)
+            self._append.flush()
+            os.fsync(self._append.fileno())
+        self._read = open(self.path, "rb")
+        self._end = end
+        self._committed_end = end
+        self._dirty = False
+
+    def _scan(self) -> int:
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            with open(self.path, "wb") as handle:
+                handle.write(_LOG_HEADER)
+                handle.flush()
+                os.fsync(handle.fileno())
+            from repro.server.wal import fsync_directory
+            fsync_directory(self.path)
+            return len(_LOG_HEADER)
+        if not data or (len(data) < len(_LOG_HEADER)
+                        and _LOG_HEADER.startswith(data)):
+            with open(self.path, "wb") as handle:
+                handle.write(_LOG_HEADER)
+                handle.flush()
+                os.fsync(handle.fileno())
+            return len(_LOG_HEADER)
+        if data[:4] != _LOG_MAGIC:
+            raise ProtocolError(f"{self.path!r} is not a tree-store log")
+        version = struct.unpack(">H", data[4:6])[0]
+        if version != _LOG_VERSION:
+            raise ProtocolError(f"unsupported tree-store version {version}")
+
+        pos = len(_LOG_HEADER)
+        committed = pos
+        pending: list[tuple[int, bytes]] = []  # (payload offset, payload)
+        while pos < len(data):
+            if pos + _FRAME.size > len(data):
+                break
+            length, crc = _FRAME.unpack_from(data, pos)
+            payload_off = pos + _FRAME.size
+            payload = data[payload_off:payload_off + length]
+            if len(payload) < length:
+                break
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                break
+            pos = payload_off + length
+            if payload[0] == _TAG_COMMIT:
+                for off, record in pending:
+                    self._apply_record(off, record)
+                pending.clear()
+                committed = pos
+            else:
+                pending.append((payload_off, payload))
+        return committed
+
+    def _apply_record(self, payload_off: int, payload: bytes) -> None:
+        tag = payload[0]
+        if tag == _TAG_META:
+            _t, file_id, version, n_leaves = _META_REC.unpack_from(payload)
+            index = self._index.get(file_id)
+            if index is None:
+                self._index[file_id] = _FileIndex(
+                    FileMeta(file_id, version, n_leaves))
+            else:
+                index.meta = FileMeta(file_id, version, n_leaves)
+        elif tag == _TAG_NODE:
+            _t, file_id, kind, slot, present = _NODE_HDR.unpack_from(payload)
+            index = self._ensure(file_id)
+            if present:
+                index.nodes[(kind, slot)] = (
+                    payload_off + _NODE_HDR.size,
+                    len(payload) - _NODE_HDR.size)
+            else:
+                index.nodes.pop((kind, slot), None)
+        elif tag == _TAG_ITEM:
+            _t, file_id, item_id, present, slot = _ITEM_REC.unpack_from(payload)
+            index = self._ensure(file_id)
+            old = index.slot_of.pop(item_id, None)
+            if old is not None and index.item_at.get(old) == item_id:
+                index.item_at.pop(old, None)
+            if present:
+                index.slot_of[item_id] = slot
+                index.item_at[slot] = item_id
+        elif tag == _TAG_CT:
+            _t, file_id, item_id, present = _CT_HDR.unpack_from(payload)
+            index = self._ensure(file_id)
+            if present:
+                index.cts[item_id] = (payload_off + _CT_HDR.size,
+                                      len(payload) - _CT_HDR.size)
+            else:
+                index.cts.pop(item_id, None)
+        elif tag == _TAG_DROP:
+            _t, file_id = _DROP_REC.unpack_from(payload)
+            self._index.pop(file_id, None)
+        elif tag == _TAG_REPLAY:
+            self._replay_blob = (payload_off, len(payload))
+        else:
+            raise ProtocolError(f"unknown tree-store record tag {tag:#x}")
+
+    def _ensure(self, file_id: int) -> _FileIndex:
+        index = self._index.get(file_id)
+        if index is None:
+            index = _FileIndex(FileMeta(file_id, 0, 0))
+            self._index[file_id] = index
+        return index
+
+    # -- append path ----------------------------------------------------
+
+    def _emit(self, payload: bytes) -> int:
+        """Append one framed record; returns the payload's file offset."""
+        frame = _FRAME.pack(len(payload),
+                            zlib.crc32(payload) & 0xFFFFFFFF) + payload
+        payload_off = self._end + _FRAME.size
+        self._append.write(frame)
+        self._end += len(frame)
+        self._dirty = True
+        return payload_off
+
+    def _pread(self, offset: int, length: int) -> bytes:
+        with self._lock:
+            if self._dirty:
+                # Staged records live in the append handle's userspace
+                # buffer; surface them to the read handle (no fsync --
+                # durability waits for flush()).
+                self._append.flush()
+            return os.pread(self._read.fileno(), length, offset)
+
+    # -- TreeStore API --------------------------------------------------
+
+    def get_meta(self, file_id: int) -> Optional[FileMeta]:
+        with self._lock:
+            index = self._index.get(file_id)
+            if index is None:
+                return None
+            meta = index.meta
+            return FileMeta(meta.file_id, meta.version, meta.n_leaves)
+
+    def set_meta(self, meta: FileMeta) -> None:
+        with self._lock:
+            self._emit(_META_REC.pack(_TAG_META, meta.file_id, meta.version,
+                                      meta.n_leaves))
+            self._ensure(meta.file_id).meta = FileMeta(
+                meta.file_id, meta.version, meta.n_leaves)
+
+    def drop_file(self, file_id: int) -> None:
+        with self._lock:
+            if file_id not in self._index:
+                return
+            self._emit(_DROP_REC.pack(_TAG_DROP, file_id))
+            self._index.pop(file_id, None)
+
+    def file_ids(self) -> list[int]:
+        with self._lock:
+            return sorted(self._index)
+
+    def get_node(self, file_id: int, kind: int, slot: int) -> bytes:
+        with self._lock:
+            index = self._index.get(file_id)
+            if index is None:
+                raise KeyError((file_id, kind, slot))
+            offset, length = index.nodes[(kind, slot)]
+        return self._pread(offset, length)
+
+    def write_nodes(self, file_id, entries) -> None:
+        with self._lock:
+            index = self._ensure(file_id)
+            for kind, slot, value in entries:
+                if value is None:
+                    if (kind, slot) in index.nodes:
+                        self._emit(_NODE_HDR.pack(_TAG_NODE, file_id, kind,
+                                                  slot, 0))
+                        index.nodes.pop((kind, slot), None)
+                else:
+                    off = self._emit(_NODE_HDR.pack(_TAG_NODE, file_id, kind,
+                                                    slot, 1) + bytes(value))
+                    index.nodes[(kind, slot)] = (off + _NODE_HDR.size,
+                                                 len(value))
+
+    def get_slot(self, file_id: int, item_id: int) -> Optional[int]:
+        with self._lock:
+            index = self._index.get(file_id)
+            return None if index is None else index.slot_of.get(item_id)
+
+    def get_item(self, file_id: int, slot: int) -> Optional[int]:
+        with self._lock:
+            index = self._index.get(file_id)
+            return None if index is None else index.item_at.get(slot)
+
+    def write_items(self, file_id, entries) -> None:
+        with self._lock:
+            index = self._ensure(file_id)
+            pairs = list(entries)
+            for item_id, slot in pairs:
+                self._emit(_ITEM_REC.pack(_TAG_ITEM, file_id, item_id,
+                                          0 if slot is None else 1,
+                                          0 if slot is None else slot))
+            # Two-pass index update (matches the record replay semantics).
+            for item_id, _slot in pairs:
+                old = index.slot_of.pop(item_id, None)
+                if old is not None and index.item_at.get(old) == item_id:
+                    index.item_at.pop(old, None)
+            for item_id, slot in pairs:
+                if slot is not None:
+                    index.slot_of[item_id] = slot
+                    index.item_at[slot] = item_id
+
+    def get_ciphertext(self, file_id: int, item_id: int) -> bytes:
+        with self._lock:
+            index = self._index.get(file_id)
+            if index is None:
+                raise KeyError((file_id, item_id))
+            offset, length = index.cts[item_id]
+        return self._pread(offset, length)
+
+    def write_ciphertexts(self, file_id, entries) -> None:
+        with self._lock:
+            index = self._ensure(file_id)
+            for item_id, value in entries:
+                if value is None:
+                    if item_id in index.cts:
+                        self._emit(_CT_HDR.pack(_TAG_CT, file_id, item_id, 0))
+                        index.cts.pop(item_id, None)
+                else:
+                    off = self._emit(_CT_HDR.pack(_TAG_CT, file_id, item_id, 1)
+                                     + bytes(value))
+                    index.cts[item_id] = (off + _CT_HDR.size, len(value))
+
+    def replay_entries(self) -> list[tuple[int, bytes]]:
+        with self._lock:
+            blob_ref = self._replay_blob
+        if blob_ref is None:
+            return []
+        payload = self._pread(*blob_ref)
+        count = _U32.unpack_from(payload, 1)[0]
+        pos = 1 + _U32.size
+        entries = []
+        for _ in range(count):
+            request_id = _U64.unpack_from(payload, pos)[0]
+            pos += _U64.size
+            length = _U32.unpack_from(payload, pos)[0]
+            pos += _U32.size
+            entries.append((request_id, payload[pos:pos + length]))
+            pos += length
+        return entries
+
+    def set_replay_entries(self, entries) -> None:
+        parts = [bytes([_TAG_REPLAY]), b""]
+        count = 0
+        for request_id, blob in entries:
+            parts.append(_U64.pack(request_id))
+            parts.append(_U32.pack(len(blob)))
+            parts.append(bytes(blob))
+            count += 1
+        parts[1] = _U32.pack(count)
+        with self._lock:
+            off = self._emit(b"".join(parts))
+            self._replay_blob = (off, sum(len(p) for p in parts))
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._dirty and self._end == self._committed_end:
+                return
+            self._emit(bytes([_TAG_COMMIT]))
+            self._append.flush()
+            os.fsync(self._append.fileno())
+            self._committed_end = self._end
+            self._dirty = False
+
+    def compact(self) -> None:
+        """Rewrite only the live records into a fresh log (atomic swap)."""
+        with self._lock:
+            self.flush()
+            tmp = self.path + ".tmp"
+            rewriter = LogTreeStore.__new__(LogTreeStore)
+            rewriter.path = tmp
+            rewriter._lock = threading.RLock()
+            rewriter._index = {}
+            rewriter._replay_blob = None
+            with open(tmp, "wb") as handle:
+                handle.write(_LOG_HEADER)
+            rewriter._append = open(tmp, "ab")
+            rewriter._read = open(tmp, "rb")
+            rewriter._end = len(_LOG_HEADER)
+            rewriter._committed_end = rewriter._end
+            rewriter._dirty = False
+            for file_id in self.file_ids():
+                index = self._index[file_id]
+                rewriter.set_meta(index.meta)
+                rewriter.write_nodes(file_id, (
+                    (kind, slot, self._pread(*ref))
+                    for (kind, slot), ref in sorted(index.nodes.items())))
+                rewriter.write_items(file_id, sorted(index.slot_of.items()))
+                rewriter.write_ciphertexts(file_id, (
+                    (item_id, self._pread(*ref))
+                    for item_id, ref in sorted(index.cts.items())))
+            rewriter.set_replay_entries(self.replay_entries())
+            rewriter.flush()
+            rewriter._append.close()
+            rewriter._read.close()
+            self._append.close()
+            self._read.close()
+            os.replace(tmp, self.path)
+            from repro.server.wal import fsync_directory
+            fsync_directory(self.path)
+            self._index = rewriter._index
+            self._replay_blob = rewriter._replay_blob
+            self._append = open(self.path, "ab")
+            self._read = open(self.path, "rb")
+            self._end = rewriter._end
+            self._committed_end = rewriter._committed_end
+            self._dirty = False
+
+    def close(self) -> None:
+        with self._lock:
+            self.flush()
+            self._append.close()
+            self._read.close()
+
+    # -- pickling (reopen-by-path; used by conformance tests) -----------
+
+    def __getstate__(self):
+        self.flush()
+        return {"path": self.path}
+
+    def __setstate__(self, state) -> None:
+        self.path = state["path"]
+        self._lock = threading.RLock()
+        self._open()
+
+
+# ---------------------------------------------------------------------
+# SQLite engine
+# ---------------------------------------------------------------------
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS files (
+    file_id  INTEGER PRIMARY KEY,
+    version  INTEGER NOT NULL,
+    n_leaves INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS nodes (
+    file_id INTEGER NOT NULL,
+    kind    INTEGER NOT NULL,
+    slot    INTEGER NOT NULL,
+    value   BLOB NOT NULL,
+    PRIMARY KEY (file_id, kind, slot)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS items (
+    file_id INTEGER NOT NULL,
+    item_id INTEGER NOT NULL,
+    slot    INTEGER NOT NULL,
+    PRIMARY KEY (file_id, item_id)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS items_by_slot ON items (file_id, slot);
+CREATE TABLE IF NOT EXISTS ciphertexts (
+    file_id INTEGER NOT NULL,
+    item_id INTEGER NOT NULL,
+    value   BLOB NOT NULL,
+    PRIMARY KEY (file_id, item_id)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS replay (
+    seq        INTEGER PRIMARY KEY,
+    request_id INTEGER NOT NULL,
+    reply      BLOB NOT NULL
+);
+"""
+
+
+def _s64(value: int) -> int:
+    """Map a u64 id into SQLite's signed 64-bit INTEGER range.
+
+    File, item, and request ids are uniform 64-bit values, so the top
+    bit is set half the time; storing them raw overflows SQLite's
+    signed INTEGER.  The two's-complement reinterpretation is a
+    bijection, so keys stay unique and point lookups exact.
+    """
+    return value - 0x1_0000_0000_0000_0000 \
+        if value >= 0x8000_0000_0000_0000 else value
+
+
+def _u64(value: int) -> int:
+    """Inverse of :func:`_s64`."""
+    return value & 0xFFFF_FFFF_FFFF_FFFF
+
+
+class SQLiteTreeStore(TreeStore):
+    """Single-file SQLite engine.
+
+    The ``nodes`` primary key ``(file_id, kind, slot)`` doubles as the
+    ``(file_id, node_path)`` index -- slot numbers *are* root-path
+    encodings.  All staged writes ride one transaction committed by
+    ``flush`` (rollback-journal crash safety); reads on the same
+    connection observe the staged state, giving the engine contract's
+    read-your-writes without extra buffering.  Ids are stored via the
+    :func:`_s64` two's-complement mapping (they are u64 on the wire).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.RLock()
+        self._connect()
+
+    def _connect(self) -> None:
+        self._conn = sqlite3.connect(self.path, check_same_thread=False,
+                                     isolation_level=None)
+        self._conn.execute("PRAGMA journal_mode=DELETE").fetchone()
+        self._conn.execute("PRAGMA synchronous=FULL")
+        self._conn.executescript(_SCHEMA)
+        self._in_txn = False
+
+    def _begin(self) -> None:
+        if not self._in_txn:
+            self._conn.execute("BEGIN")
+            self._in_txn = True
+
+    def get_meta(self, file_id: int) -> Optional[FileMeta]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT version, n_leaves FROM files WHERE file_id=?",
+                (_s64(file_id),)).fetchone()
+        return None if row is None else FileMeta(file_id, row[0], row[1])
+
+    def set_meta(self, meta: FileMeta) -> None:
+        with self._lock:
+            self._begin()
+            self._conn.execute(
+                "INSERT OR REPLACE INTO files VALUES (?,?,?)",
+                (_s64(meta.file_id), meta.version, meta.n_leaves))
+
+    def drop_file(self, file_id: int) -> None:
+        with self._lock:
+            self._begin()
+            for table in ("files", "nodes", "items", "ciphertexts"):
+                self._conn.execute(
+                    f"DELETE FROM {table} WHERE file_id=?",
+                    (_s64(file_id),))
+
+    def file_ids(self) -> list[int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT file_id FROM files").fetchall()
+        return sorted(_u64(row[0]) for row in rows)
+
+    def get_node(self, file_id: int, kind: int, slot: int) -> bytes:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM nodes WHERE file_id=? AND kind=? AND slot=?",
+                (_s64(file_id), kind, slot)).fetchone()
+        if row is None:
+            raise KeyError((file_id, kind, slot))
+        return row[0]
+
+    def write_nodes(self, file_id, entries) -> None:
+        fid = _s64(file_id)
+        removes, writes = [], []
+        for kind, slot, value in entries:
+            if value is None:
+                removes.append((fid, kind, slot))
+            else:
+                writes.append((fid, kind, slot, bytes(value)))
+        with self._lock:
+            self._begin()
+            if removes:
+                self._conn.executemany(
+                    "DELETE FROM nodes WHERE file_id=? AND kind=? AND slot=?",
+                    removes)
+            if writes:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO nodes VALUES (?,?,?,?)", writes)
+
+    def get_slot(self, file_id: int, item_id: int) -> Optional[int]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT slot FROM items WHERE file_id=? AND item_id=?",
+                (_s64(file_id), _s64(item_id))).fetchone()
+        return None if row is None else row[0]
+
+    def get_item(self, file_id: int, slot: int) -> Optional[int]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT item_id FROM items WHERE file_id=? AND slot=?",
+                (_s64(file_id), slot)).fetchone()
+        return None if row is None else _u64(row[0])
+
+    def write_items(self, file_id, entries) -> None:
+        pairs = list(entries)
+        with self._lock:
+            self._begin()
+            # Two passes: every touched item's old row goes first, so a
+            # move onto a just-vacated slot is order-independent.
+            fid = _s64(file_id)
+            self._conn.executemany(
+                "DELETE FROM items WHERE file_id=? AND item_id=?",
+                [(fid, _s64(item_id)) for item_id, _slot in pairs])
+            self._conn.executemany(
+                "INSERT INTO items VALUES (?,?,?)",
+                [(fid, _s64(item_id), slot) for item_id, slot in pairs
+                 if slot is not None])
+
+    def get_ciphertext(self, file_id: int, item_id: int) -> bytes:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM ciphertexts WHERE file_id=? AND item_id=?",
+                (_s64(file_id), _s64(item_id))).fetchone()
+        if row is None:
+            raise KeyError((file_id, item_id))
+        return row[0]
+
+    def write_ciphertexts(self, file_id, entries) -> None:
+        fid = _s64(file_id)
+        removes, writes = [], []
+        for item_id, value in entries:
+            if value is None:
+                removes.append((fid, _s64(item_id)))
+            else:
+                writes.append((fid, _s64(item_id), bytes(value)))
+        with self._lock:
+            self._begin()
+            if removes:
+                self._conn.executemany(
+                    "DELETE FROM ciphertexts WHERE file_id=? AND item_id=?",
+                    removes)
+            if writes:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO ciphertexts VALUES (?,?,?)",
+                    writes)
+
+    def replay_entries(self) -> list[tuple[int, bytes]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT request_id, reply FROM replay ORDER BY seq").fetchall()
+        return [(_u64(row[0]), row[1]) for row in rows]
+
+    def set_replay_entries(self, entries) -> None:
+        with self._lock:
+            self._begin()
+            self._conn.execute("DELETE FROM replay")
+            self._conn.executemany(
+                "INSERT INTO replay VALUES (?,?,?)",
+                [(seq, _s64(rid), bytes(blob))
+                 for seq, (rid, blob) in enumerate(entries)])
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._in_txn:
+                self._conn.execute("COMMIT")
+                self._in_txn = False
+
+    def compact(self) -> None:
+        with self._lock:
+            self.flush()
+            self._conn.execute("VACUUM")
+
+    def close(self) -> None:
+        with self._lock:
+            self.flush()
+            self._conn.close()
+
+    def __getstate__(self):
+        self.flush()
+        return {"path": self.path}
+
+    def __setstate__(self, state) -> None:
+        self.path = state["path"]
+        self._lock = threading.RLock()
+        self._connect()
+
+
+def engine_path(state_dir: str, backend: str) -> str:
+    """On-disk engine file for ``backend`` under a server's state dir."""
+    return os.path.join(state_dir, ENGINE_FILENAMES[backend])
+
+
+def make_engine(backend: str, path: Optional[str] = None) -> TreeStore:
+    """Instantiate a storage engine by backend name.
+
+    ``memory`` ignores ``path``; the durable backends require one.
+    """
+    if backend == "memory":
+        return MemoryTreeStore()
+    if path is None:
+        raise ValueError(f"backend {backend!r} requires a path")
+    if backend == "log":
+        return LogTreeStore(path)
+    if backend == "sqlite":
+        return SQLiteTreeStore(path)
+    raise ValueError(f"unknown storage backend {backend!r}; "
+                     f"expected one of {BACKENDS}")

@@ -184,4 +184,7 @@ def _load_server(path: str, params: Params | None = None) -> CloudServer:
 
 
 def _file_ids(server: CloudServer):
-    return list(server._files)  # noqa: SLF001 - persistence is a server peer
+    # file_ids() covers engine-resident files too, so an image written
+    # from an engine-backed server (e.g. a migration off SQLite back to
+    # pickle persistence) captures every file, not just the paged-in ones.
+    return server.file_ids()

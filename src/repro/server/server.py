@@ -37,6 +37,11 @@ from repro.server.storage import CiphertextStore, InMemoryCiphertextStore
 #: Crash points a test can arm via :meth:`CloudServer.arm_crash`.
 CRASH_POINT_BEFORE_APPLY = "before-apply"
 CRASH_POINT_AFTER_APPLY = "after-apply"
+#: Compaction seams: before the engine flush (everything since the last
+#: compaction is lost and replayed), and after it but before the WAL
+#: truncate (state flushed twice; replay must be a no-op).
+CRASH_POINT_BEFORE_FLUSH = "before-flush"
+CRASH_POINT_AFTER_FLUSH = "after-flush"
 
 #: Message types that mutate server state: WAL-logged and idempotent
 #: under their ``request_id``.
@@ -96,16 +101,25 @@ class CloudServer:
     view_cache_enabled = True
 
     def __init__(self, params: Params | None = None, wal=None,
-                 audit=None) -> None:
+                 audit=None, engine=None) -> None:
         self.params = params if params is not None else Params()
         self.ctx = WireContext(modulator_width=self.params.modulator_size)
         self._files: dict[int, ServerFile] = {}
         self.wal = wal
         self.audit = audit
+        #: Out-of-core storage engine (:mod:`repro.server.engine`); when
+        #: attached, files are paged in on demand instead of resident.
+        self.engine = None
+        self._node_cache = None
+        #: breakdown of the last ``recover_server`` run (load vs replay
+        #: seconds); ``None`` for a server that never recovered.
+        self.last_recovery: Optional[dict] = None
         #: request_id -> reply produced when it was first applied.
         self._applied: OrderedDict[int, msg.Message] = OrderedDict()
         self._crash_point: Optional[str] = None
         self._init_locks()
+        if engine is not None:
+            self.attach_engine(engine)
 
     def _init_locks(self) -> None:
         """(Re)create the concurrency-control state.
@@ -125,14 +139,22 @@ class CloudServer:
         #: under the file's shared lock, invalidated under its exclusive
         #: lock, so per-file insertions and invalidations never race.
         self._view_caches: dict[int, dict] = {}
+        #: Serialises on-demand file materialisation from the engine
+        #: (two readers may race to page in the same file).
+        self._materialise_lock = threading.Lock()
 
     #: Attributes recreated by :meth:`_init_locks` instead of pickled
     #: (the view cache holds replies with memoized encodings -- dropping
     #: it keeps checkpoint images lean and is always safe).
     _UNPICKLED = ("_registry_lock", "_file_locks", "_applied_mutex",
-                  "_view_caches")
+                  "_view_caches", "_materialise_lock")
 
     def __getstate__(self):
+        if self.engine is not None:
+            raise TypeError(
+                "engine-backed server is not picklable: its durable state "
+                "lives in the storage engine (use compact_storage instead "
+                "of a pickle snapshot)")
         state = self.__dict__.copy()
         for name in self._UNPICKLED:
             state.pop(name, None)
@@ -154,6 +176,30 @@ class CloudServer:
         """Start write-ahead logging mutating requests to ``wal``."""
         self.wal = wal
 
+    def attach_engine(self, engine, *, cache_nodes: int = 65536) -> None:
+        """Serve files out-of-core from a storage engine.
+
+        Files already stored in ``engine`` are paged in on demand (a
+        request materialises only its root-to-leaf paths, cached in a
+        bounded LRU of ``cache_nodes`` nodes); files outsourced while
+        running stay resident until :meth:`compact_storage` converts
+        them.  The engine's persisted replay table is restored so
+        retried commits stay exactly-once across restarts.
+
+        Engine-materialised files run without a duplicate-modulator
+        registry (building one would read the whole tree, defeating
+        lazy paging); with random modulators a collision is a ~2^-160
+        event, and freshly outsourced files keep their registry until
+        restart.  ``docs/STORAGE.md`` records the tradeoff.
+        """
+        from repro.server.paging import NodeCache
+        self.engine = engine
+        self._node_cache = NodeCache(cache_nodes)
+        entries = [(request_id, msg.decode_message(self.ctx, blob))
+                   for request_id, blob in engine.replay_entries()]
+        if entries:
+            self.restore_replay_cache(entries)
+
     def attach_audit(self, audit) -> None:
         """Start emitting tamper-evident audit records for mutations.
 
@@ -167,7 +213,8 @@ class CloudServer:
 
     def arm_crash(self, point: str) -> None:
         """Arm a one-shot simulated crash (fault-injection testing)."""
-        if point not in (CRASH_POINT_BEFORE_APPLY, CRASH_POINT_AFTER_APPLY):
+        if point not in (CRASH_POINT_BEFORE_APPLY, CRASH_POINT_AFTER_APPLY,
+                         CRASH_POINT_BEFORE_FLUSH, CRASH_POINT_AFTER_FLUSH):
             raise ValueError(f"unknown crash point {point!r}")
         self._crash_point = point
 
@@ -442,11 +489,44 @@ class CloudServer:
         self._view_caches.pop(file_id, None)
 
     def _state(self, file_id: int) -> ServerFile:
-        """Handler-internal state lookup (keeps the view cache intact)."""
+        """Handler-internal state lookup (keeps the view cache intact).
+
+        With an engine attached, a file absent from the resident table
+        is materialised lazily: paged stores are installed that fetch
+        nodes from the engine on demand, so this is O(1) regardless of
+        file size -- the actual node reads happen as the handler walks
+        its root-to-leaf paths.
+        """
         state = self._files.get(file_id)
+        if state is None and self.engine is not None:
+            state = self._materialise(file_id)
         if state is None:
             raise UnknownItemError(f"unknown file id {file_id}")
         return state
+
+    def _materialise(self, file_id: int) -> Optional[ServerFile]:
+        """Page a file in from the engine (None if the engine lacks it)."""
+        with self._materialise_lock:
+            state = self._files.get(file_id)
+            if state is not None:
+                return state  # lost the race; the winner's state stands
+            meta = self.engine.get_meta(file_id)
+            if meta is None:
+                return None
+            from repro.server.paging import (PagedCiphertextStore,
+                                             PagedItemMap,
+                                             PagedModulatorStore)
+            store = PagedModulatorStore(self.engine, file_id,
+                                        self.params.modulator_size,
+                                        self._node_cache)
+            tree = ModulationTree.wrap(store, meta.n_leaves,
+                                       PagedItemMap(self.engine, file_id))
+            state = ServerFile(tree=tree,
+                               ciphertexts=PagedCiphertextStore(self.engine,
+                                                                file_id),
+                               version=meta.version, registry=None)
+            self._files[file_id] = state
+            return state
 
     def file_state(self, file_id: int) -> ServerFile:
         """Direct state access (benchmarks, adversary subclasses, tests).
@@ -470,15 +550,24 @@ class CloudServer:
         self._view_caches.pop(file_id, None)
 
     def has_file(self, file_id: int) -> bool:
-        return file_id in self._files
+        if file_id in self._files:
+            return True
+        return (self.engine is not None
+                and self.engine.get_meta(file_id) is not None)
 
     def file_ids(self) -> list[int]:
         """Ids of every file currently stored (sorted)."""
-        return sorted(self._files)
+        if self.engine is None:
+            return sorted(self._files)
+        ids = set(self._files)
+        ids.update(self.engine.file_ids())
+        return sorted(ids)
 
     def file_count(self) -> int:
         """Number of files currently stored (cheap, for gauges)."""
-        return len(self._files)
+        if self.engine is None:
+            return len(self._files)
+        return len(self.file_ids())
 
     # ------------------------------------------------------------------
     # Registry helpers
@@ -890,7 +979,111 @@ class CloudServer:
 
     def _on_delete_file(self, request: msg.DeleteFileRequest) -> msg.Message:
         self._files.pop(request.file_id, None)
+        if self.engine is not None:
+            self.engine.drop_file(request.file_id)
+            self._node_cache.purge_file(request.file_id)
         # Runs under the exclusive registry lock, so nobody holds (or can
         # be acquiring) this file's lock while it is dropped.
         self._file_locks.discard(request.file_id)
         return msg.Ack()
+
+    # ------------------------------------------------------------------
+    # Incremental checkpointing (storage engine + WAL compaction)
+    # ------------------------------------------------------------------
+
+    def compact_storage(self) -> dict:
+        """Flush dirty state to the engine, then compact the WAL.
+
+        The engine-backed replacement for whole-image checkpointing:
+        only state touched since the last compaction is written (dirty
+        overlays of paged files; full conversion for files outsourced
+        while running), followed by the persisted replay table, one
+        engine ``flush`` (the durability barrier), and a WAL
+        ``compact`` that truncates replayed history behind a snapshot
+        marker.
+
+        Runs under the exclusive registry lock -- the same stop-the-
+        world discipline outsourcing uses -- so no mutation can land
+        between the engine flush and the WAL truncate and fall through
+        the crack.  Crash safety around the two seams:
+
+        * before the engine flush: the engine still holds the previous
+          snapshot and the WAL still holds everything since; replay
+          rebuilds the lost overlays.
+        * after the flush, before the truncate: the WAL's records are
+          already reflected in the engine; replaying them is a no-op
+          (request-id replay table hits, stale-version rejections, and
+          idempotent re-applies -- see ``docs/STORAGE.md``).
+        """
+        if self.engine is None:
+            raise ReproError("no storage engine attached")
+        import time as _time
+        start = _time.perf_counter()
+        stats = {"files_flushed": 0, "files_converted": 0,
+                 "dirty_records": 0}
+        with self._registry_lock.exclusive(scope="registry"):
+            self._fire_crash(CRASH_POINT_BEFORE_FLUSH)
+            for file_id, state in sorted(self._files.items()):
+                self._flush_file(file_id, state, stats)
+            self.engine.set_replay_entries(
+                (request_id, msg.encode_message(self.ctx, reply))
+                for request_id, reply in self.replay_cache_entries())
+            self.engine.flush()
+            self._fire_crash(CRASH_POINT_AFTER_FLUSH)
+            if self.wal is not None:
+                marker = (f"snapshot files={self.file_count()} "
+                          f"dirty={stats['dirty_records']}").encode()
+                self.wal.compact(marker)
+        stats["seconds"] = _time.perf_counter() - start
+        if obs.enabled:
+            from repro.obs import instruments as ins
+            ins.STORAGE_FLUSHES.inc()
+            ins.STORAGE_FLUSH_SECONDS.observe(stats["seconds"])
+            ins.STORAGE_DIRTY_FLUSHED.inc(stats["dirty_records"])
+            log_event("server.compact_storage", **stats)
+        return stats
+
+    def _flush_file(self, file_id: int, state: ServerFile,
+                    stats: dict) -> None:
+        """Flush one resident file to the engine (registry lock held)."""
+        from repro.server.engine import FileMeta
+        from repro.server.paging import PagedModulatorStore
+        tree = state.tree
+        if isinstance(tree.store, PagedModulatorStore):
+            dirty = tree.store.flush_to_engine()
+            dirty += tree._map.flush_to_engine()  # noqa: SLF001
+            dirty += state.ciphertexts.flush_to_engine()
+            self.engine.set_meta(FileMeta(file_id, state.version,
+                                          tree.leaf_count))
+            stats["files_flushed"] += 1
+            stats["dirty_records"] += dirty
+            return
+        # A file outsourced (or installed) while running: write it out
+        # wholesale and swap in the paged representation, keeping the
+        # version, registry, and commit replay cache.  drop_file first
+        # clears any stale rows from a previous incarnation of the id.
+        from repro.server.engine import KIND_LEAF, KIND_LINK
+        from repro.server.paging import PagedCiphertextStore, PagedItemMap
+        self.engine.drop_file(file_id)
+        self._node_cache.purge_file(file_id)
+        self.engine.write_nodes(file_id, (
+            (KIND_LINK if kind == LINK else KIND_LEAF, slot, value)
+            for kind, slot, value in tree.iter_modulators()))
+        item_ids = tree.item_ids()
+        self.engine.write_items(file_id, [
+            (item_id, tree.slot_of_item(item_id)) for item_id in item_ids])
+        self.engine.write_ciphertexts(file_id, [
+            (item_id, state.ciphertexts.get(item_id))
+            for item_id in item_ids])
+        records = tree.modulator_count() + 2 * len(item_ids)
+        self.engine.set_meta(FileMeta(file_id, state.version,
+                                      tree.leaf_count))
+        store = PagedModulatorStore(self.engine, file_id,
+                                    self.params.modulator_size,
+                                    self._node_cache)
+        state.tree = ModulationTree.wrap(store, tree.leaf_count,
+                                         PagedItemMap(self.engine, file_id))
+        state.ciphertexts = PagedCiphertextStore(self.engine, file_id)
+        self._view_caches.pop(file_id, None)
+        stats["files_converted"] += 1
+        stats["dirty_records"] += records

@@ -88,6 +88,12 @@ class FileBackedCiphertextStore(CiphertextStore):
             handle.flush()
             os.fsync(handle.fileno())  # durable before the atomic rename
         os.replace(tmp, path)
+        # The rename is a directory entry with its own durability; a
+        # crash after the replace but before the directory sync could
+        # resurrect the old ciphertext (or, for a first put, forget the
+        # file entirely) -- a torn put from the client's point of view.
+        from repro.server.wal import fsync_directory
+        fsync_directory(path)
 
     def delete(self, item_id: int) -> None:
         try:

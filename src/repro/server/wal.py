@@ -79,6 +79,13 @@ _FORMAT_VERSION = 1
 _HEADER = _MAGIC + struct.pack(">H", _FORMAT_VERSION)
 _RECORD = struct.Struct(">II")
 
+#: Top bit of a record's length field marks a compaction snapshot
+#: marker: not a replayable request, just fsync'd evidence of where the
+#: truncated history went.  Pre-compaction readers reject such a log
+#: loudly (the flagged length fails their bounds check) instead of
+#: replaying garbage.
+_MARKER_FLAG = 0x80000000
+
 #: Default number of WAL records after which callers should checkpoint.
 CHECKPOINT_INTERVAL = 256
 
@@ -143,6 +150,11 @@ class CommitLog:
         self.group_commit = group_commit
         self.group_max_batch = group_max_batch
         self.group_max_wait = group_max_wait
+        #: Compactions performed on this log object (``compact`` calls);
+        #: the latest snapshot marker found on disk or written survives
+        #: in ``snapshot_marker``.
+        self.compactions = 0
+        self.snapshot_marker: bytes | None = None
         self._records: list[bytes] = self._scan()
         self._handle = open(path, "ab")
         #: Records appended since the last checkpoint/open, for callers
@@ -204,12 +216,18 @@ class CommitLog:
             if pos + _RECORD.size > len(data):
                 break  # torn length/CRC prefix
             length, crc = _RECORD.unpack_from(data, pos)
+            marker = bool(length & _MARKER_FLAG)
+            length &= ~_MARKER_FLAG
             payload = data[pos + _RECORD.size:pos + _RECORD.size + length]
             if len(payload) < length:
                 break  # torn payload
             if zlib.crc32(payload) & 0xFFFFFFFF != crc:
                 break  # corrupt (partially overwritten) record
-            records.append(payload)
+            if marker:
+                # Compaction snapshot evidence, not a replayable request.
+                self.snapshot_marker = payload
+            else:
+                records.append(payload)
             pos += _RECORD.size + length
             good_end = pos
         if good_end < len(data):
@@ -442,6 +460,45 @@ class CommitLog:
             self._durable_size = self._handle.tell()
             self._failed = False
 
+    def compact(self, marker: bytes = b"") -> None:
+        """Truncate replayed history behind an fsync'd snapshot marker.
+
+        Called by ``compact_storage`` after the storage engine has
+        durably absorbed every logged record: the replacement log holds
+        only the marker (length top-bit flagged, CRC-framed like any
+        record, skipped by replay).  The swap is a write-temp +
+        ``os.replace`` + directory fsync, so a crash at any instruction
+        leaves either the full old log or the compacted one -- never a
+        torn in-between -- the same atomicity the checkpoint image
+        relies on.  Callers must guarantee no append is in flight
+        (the server holds its registry lock exclusively).
+        """
+        if len(marker) >= _MARKER_FLAG:
+            raise ValueError("snapshot marker too large")
+        with self._lock:
+            frame = _RECORD.pack(len(marker) | _MARKER_FLAG,
+                                 zlib.crc32(marker) & 0xFFFFFFFF) + marker
+            tmp = self.path + ".compact.tmp"
+            with open(tmp, "wb") as handle:
+                handle.write(_HEADER + frame)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle.close()
+            os.replace(tmp, self.path)
+            fsync_directory(self.path)
+            self._handle = open(self.path, "ab")
+            self._records = []
+            self.appended = 0
+            self._durable_size = self._handle.tell()
+            self._failed = False
+            self.compactions += 1
+            self.snapshot_marker = bytes(marker)
+        if obs.enabled:
+            from repro.obs import instruments as ins
+            ins.WAL_COMPACTIONS.inc()
+            log_event("wal.compacted", path=self.path,
+                      marker=marker.decode("utf-8", "replace"))
+
     def close(self) -> None:
         committer = self._committer
         if committer is not None and committer.is_alive():
@@ -467,7 +524,14 @@ def checkpoint(server, image_path: str) -> None:
     The image replace is atomic and fsync'd, so a crash at any point
     leaves either (old image + full WAL) or (new image + WAL), both of
     which :func:`recover_server` resolves to the same state.
+
+    An engine-backed server checkpoints *incrementally* instead: dirty
+    state flushes to the engine and the WAL is compacted; no image is
+    written (``image_path`` is ignored).
     """
+    if getattr(server, "engine", None) is not None:
+        server.compact_storage()
+        return
     from repro.server.persistence import save_server
     if not obs.enabled:
         save_server(server, image_path)
@@ -484,34 +548,63 @@ def checkpoint(server, image_path: str) -> None:
         ins.CHECKPOINTS.inc()
 
 
-def recover_server(image_path: str, wal_path: str, params=None, *,
-                   group_commit: bool = False):
-    """Rebuild a server from its checkpoint image plus commit log.
+def recover_server(image_path: str | None, wal_path: str, params=None, *,
+                   group_commit: bool = False, engine=None,
+                   cache_nodes: int = 65536):
+    """Rebuild a server from its durable state plus commit log.
 
-    Missing image: recovery starts from an empty server (the WAL then
-    holds the full history since bootstrap).  Every validated WAL record
-    is re-executed through the normal handlers *before* the log is
-    attached for new appends, so replay never re-logs.  ``group_commit``
-    selects the coalescing append path for the re-attached log.
+    With ``engine`` given, the server pages its files from the storage
+    engine on demand -- recovery cost is O(records since the last
+    compaction), not O(total state) -- and ``image_path`` may be
+    ``None``.  Otherwise, a missing image means recovery starts from an
+    empty server (the WAL then holds the full history since bootstrap).
+    Every validated WAL record is re-executed through the normal
+    handlers *before* the log is attached for new appends, so replay
+    never re-logs.  ``group_commit`` selects the coalescing append path
+    for the re-attached log.
+
+    The recovery breakdown (state load vs WAL replay) lands in the
+    ``repro_server_cold_start_seconds`` /
+    ``repro_recovery_*_seconds`` gauges and a ``server.recovered``
+    event, so the compaction win shows up in ``/statusz``.
     """
     from repro.server.persistence import load_server
     from repro.server.server import CloudServer
 
     with span("server.recover", image=image_path, wal=wal_path):
-        if os.path.exists(image_path):
+        start = time.perf_counter()
+        if engine is not None:
+            server = CloudServer(params)
+            server.attach_engine(engine, cache_nodes=cache_nodes)
+        elif image_path is not None and os.path.exists(image_path):
             server = load_server(image_path, params)
         else:
             server = CloudServer(params)
+        load_seconds = time.perf_counter() - start
         log = CommitLog(wal_path, group_commit=group_commit)
         replayed = 0
+        replay_start = time.perf_counter()
         with span("server.recover.replay"):
             for record in log.records():
                 server.handle_bytes(record)
                 replayed += 1
+        replay_seconds = time.perf_counter() - replay_start
         if obs.enabled:
             from repro.obs import instruments as ins
             ins.WAL_REPLAYED.inc(replayed)
             ins.RECOVERIES.inc()
-            log_event("server.recovered", replayed_records=replayed)
+            ins.COLD_START_SECONDS.set(time.perf_counter() - start)
+            ins.RECOVERY_CHECKPOINT_SECONDS.set(load_seconds)
+            ins.RECOVERY_REPLAY_SECONDS.set(replay_seconds)
+            log_event("server.recovered", replayed_records=replayed,
+                      load_seconds=round(load_seconds, 6),
+                      replay_seconds=round(replay_seconds, 6),
+                      engine=engine is not None)
+        server.last_recovery = {
+            "replayed_records": replayed,
+            "load_seconds": load_seconds,
+            "replay_seconds": replay_seconds,
+            "engine": engine is not None,
+        }
         server.attach_wal(log)
     return server

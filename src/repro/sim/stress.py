@@ -38,19 +38,29 @@ invariants:
    control keys) fails on shredded master keys -- while live items and
    live master keys remain recoverable (soundness controls);
 5. **WAL replay** -- re-executing each shard's write-ahead log from an
-   empty server reproduces that shard's exact per-file state, byte for
-   byte (modulators, item maps, ciphertexts, versions);
+   empty server (or, for engine-backed runs, from a copy of the engine
+   snapshot plus the WAL tail left by mid-run compaction) reproduces
+   that shard's exact per-file state, byte for byte (modulators, item
+   maps, ciphertexts, versions);
 6. **audit chain** -- each shard's tamper-evident audit log verifies end
    to end (hash chain, sequence numbers, head anchor) and its per-file
    record sequence equals that shard's WAL-decoded op history exactly
-   -- the evidence trail matches what was actually committed.
+   (the WAL history is a *suffix* of the audit history when mid-run
+   compaction truncated the log) -- the evidence trail matches what was
+   actually committed.
+
+With ``backend`` set to ``log`` or ``sqlite``, every shard pages its
+files from a storage engine and a compactor thread races
+``compact_storage`` (flush + WAL truncation) against the workers.
 
 Any violation raises :class:`InvariantViolation` naming the invariant.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import shutil
 import tempfile
 import threading
 import time
@@ -110,10 +120,18 @@ class StressConfig:
     #: invariant below (including byte-exact reads against the model)
     #: must hold across any on/off interleaving.
     toggle_caches: bool = False
+    #: Storage engine behind every shard.  Non-memory backends run a
+    #: compactor thread that repeatedly flushes dirty state and
+    #: truncates each shard's WAL *while the workers mutate*, so the
+    #: invariants below also prove compaction is correctness-invisible
+    #: (engine snapshot + WAL tail always reproduces live state).
+    backend: str = "memory"
 
     def __post_init__(self) -> None:
         if self.transport not in ("loopback", "tcp", "async"):
             raise ValueError(f"unknown transport {self.transport!r}")
+        if self.backend not in ("memory", "log", "sqlite"):
+            raise ValueError(f"unknown backend {self.backend!r}")
         if self.workers < 1 or self.ops_per_worker < 1:
             raise ValueError("workers and ops_per_worker must be >= 1")
         if self.shards < 1:
@@ -136,11 +154,13 @@ class StressReport:
     elapsed_seconds: float = 0.0
     wal_records: int = 0
     audit_records: int = 0
+    wal_compactions: int = 0
 
     def summary(self) -> dict:
         return {
             "seed": self.config.seed,
             "transport": self.config.transport,
+            "backend": self.config.backend,
             "shards": self.config.shards,
             "workers": self.config.workers,
             "ops": dict(sorted(self.ops.items())),
@@ -150,6 +170,7 @@ class StressReport:
             "items_deleted": self.items_deleted,
             "wal_records": self.wal_records,
             "audit_records": self.audit_records,
+            "wal_compactions": self.wal_compactions,
             "invariants": self.invariants,
             "elapsed_seconds": round(self.elapsed_seconds, 3),
         }
@@ -468,6 +489,7 @@ def run_stress(config: StressConfig) -> StressReport:
     cluster = ShardCluster(
         config.shards, transport=config.transport, data_dir=wal_dir,
         fresh=True, audit=True, audit_sync="off",
+        storage_backend=config.backend,
         wal_factory=lambda path: CommitLog(
             path, group_commit=(config.transport == "async")))
 
@@ -499,12 +521,27 @@ def run_stress(config: StressConfig) -> StressReport:
                                           reader_counts, reader_errors),
                                     name=f"stress-reader-{i}")
                    for i in range(config.readers)]
-        for thread in threads + readers:
+        compactor = None
+        compactor_errors: list[BaseException] = []
+        if config.backend != "memory":
+            # Repeatedly flush + WAL-compact every shard while the
+            # workers mutate; the end-of-run invariants then prove the
+            # engine snapshot + remaining WAL tail still reproduce the
+            # live state exactly, whatever the interleaving.
+            def _compact_loop() -> None:
+                try:
+                    while not stop.wait(0.02):
+                        cluster.compact()
+                except BaseException as exc:
+                    compactor_errors.append(exc)
+            compactor = threading.Thread(target=_compact_loop,
+                                         name="stress-compactor")
+        for thread in threads + readers + ([compactor] if compactor else []):
             thread.start()
         for thread in threads:
             thread.join()
         stop.set()
-        for thread in readers:
+        for thread in readers + ([compactor] if compactor else []):
             thread.join()
 
         for tenant in tenants:
@@ -512,6 +549,8 @@ def run_stress(config: StressConfig) -> StressReport:
                 raise tenant.error
         if reader_errors:
             raise reader_errors[0]
+        if compactor_errors:
+            raise compactor_errors[0]
 
         _verify(cluster, tenants, report)
 
@@ -525,6 +564,9 @@ def run_stress(config: StressConfig) -> StressReport:
         report.foreign_reads = sum(reader_counts)
         report.wal_records = cluster.total_wal_records()
         report.audit_records = cluster.total_audit_records()
+        report.wal_compactions = sum(
+            unit.wal.compactions for unit in cluster.units
+            if unit.wal is not None)
         report.elapsed_seconds = time.perf_counter() - start
         return report
     finally:
@@ -599,13 +641,31 @@ def _verify(cluster: ShardCluster, tenants: list[_Tenant],
 
     # 5. Replaying each shard's WAL from an empty server reproduces that
     #    shard's live state exactly -- and only that shard's files (a
-    #    file's commits never land in a sibling's log).
+    #    file's commits never land in a sibling's log).  Engine-backed
+    #    shards recover from a *copy* of the engine file plus the WAL,
+    #    exactly as a post-crash restart would: the engine snapshot (as
+    #    of whatever mid-run compaction last ran) plus the WAL tail must
+    #    still rebuild the live state byte for byte.  Copying mid-test
+    #    is safe because the engine file only mutates inside
+    #    ``compact_storage`` and the compactor thread has quiesced.
     wal_payloads_by_shard: dict[int, list[bytes]] = {}
     for unit in cluster.units:
         shard_live = {file_id for file_id, shard_id in placement.items()
                       if shard_id == unit.shard_id}
-        recovered = recover_server(unit.wal_path + ".noimage",
-                                   unit.wal_path)
+        tmp_engine = None
+        if unit.engine is not None:
+            from repro.server.engine import make_engine
+            copy_dir = tempfile.mkdtemp(prefix="repro-stress-verify-")
+            wal_copy = os.path.join(copy_dir, "wal")
+            engine_copy = os.path.join(
+                copy_dir, os.path.basename(unit.engine_path))
+            shutil.copy(unit.wal_path, wal_copy)
+            shutil.copy(unit.engine_path, engine_copy)
+            tmp_engine = make_engine(cluster.storage_backend, engine_copy)
+            recovered = recover_server(None, wal_copy, engine=tmp_engine)
+        else:
+            recovered = recover_server(unit.wal_path + ".noimage",
+                                       unit.wal_path)
         recovered_live = set(recovered.file_ids())
         if recovered_live != shard_live:
             raise InvariantViolation(
@@ -620,6 +680,8 @@ def _verify(cluster: ShardCluster, tenants: list[_Tenant],
                     f"file {file_id}")
         wal_payloads_by_shard[unit.shard_id] = recovered.wal.records()
         recovered.wal.close()
+        if tmp_engine is not None:
+            tmp_engine.close()
     report.invariants.append("wal-replay-reproduces-state")
 
     # 6. Each shard's audit chain verifies untampered and its per-file
@@ -635,11 +697,18 @@ def _verify(cluster: ShardCluster, tenants: list[_Tenant],
             raise InvariantViolation(
                 f"shard {unit.shard_id}: audit chain failed to verify: "
                 f"{exc}")
-        if len(audit_records) != len(wal_payloads):
+        compacted = unit.wal is not None and unit.wal.compactions > 0
+        if not compacted and len(audit_records) != len(wal_payloads):
             raise InvariantViolation(
                 f"shard {unit.shard_id}: audit log holds "
                 f"{len(audit_records)} records, WAL holds "
                 f"{len(wal_payloads)} -- a mutation escaped the trail")
+        if compacted and len(audit_records) < len(wal_payloads):
+            raise InvariantViolation(
+                f"shard {unit.shard_id}: audit log holds "
+                f"{len(audit_records)} records, compacted WAL still "
+                f"holds {len(wal_payloads)} -- a mutation escaped the "
+                f"trail")
         wal_history: dict[int, list[tuple[str, int]]] = {}
         for payload in wal_payloads:
             request = msg.decode_message(unit.server.ctx, payload)
@@ -650,7 +719,20 @@ def _verify(cluster: ShardCluster, tenants: list[_Tenant],
         for record in audit_records:
             audit_history.setdefault(record["file_id"], []).append(
                 (record["op"], record["request_id"]))
-        if audit_history != wal_history:
+        if compacted:
+            # Compaction truncated the WAL mid-run, so each file's WAL
+            # sequence is the *suffix* of its audit sequence (the audit
+            # chain keeps the full history by design -- it is the
+            # deletion evidence trail, never truncated).
+            for file_id, ops in wal_history.items():
+                audit_ops = audit_history.get(file_id, [])
+                if (len(ops) > len(audit_ops)
+                        or ops != audit_ops[len(audit_ops) - len(ops):]):
+                    raise InvariantViolation(
+                        f"shard {unit.shard_id}: file {file_id}: "
+                        f"compacted WAL history is not a suffix of the "
+                        f"audit history")
+        elif audit_history != wal_history:
             diverged = sorted(
                 file_id for file_id in
                 set(wal_history) | set(audit_history)

@@ -1,0 +1,395 @@
+"""The out-of-core storage engine under real protocol traffic.
+
+Twin-world discipline: a plain in-memory server and an engine-backed
+server run the *same* deterministic client op sequence (same seed, so
+identical modulators, request ids, and ciphertext bytes); their
+per-file snapshots must be bit-identical at every comparison point --
+across mid-sequence compactions, full restarts, and simulated crashes
+at both compaction seams.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.client.client import AssuredDeletionClient
+from repro.core.errors import ReproError, SimulatedCrash
+from repro.crypto.rng import DeterministicRandom
+from repro.protocol import messages as msg
+from repro.protocol.channel import LoopbackChannel
+from repro.server.cluster import ShardCluster
+from repro.server.engine import make_engine
+from repro.server.paging import NodeCache, PagedModulatorStore
+from repro.server.server import (CRASH_POINT_AFTER_FLUSH,
+                                 CRASH_POINT_BEFORE_FLUSH, CloudServer)
+from repro.server.wal import CommitLog, checkpoint, recover_server
+from repro.sim.threat import snapshot_file
+
+pytestmark = pytest.mark.slow
+
+DURABLE = ("log", "sqlite")
+
+
+def _world(tmp_path, tag, *, backend=None, cache_nodes=65536, seed="twin"):
+    """One (server, client, paths) world; same seed => same bytes."""
+    wal_path = str(tmp_path / f"wal-{tag}")
+    engine = None
+    if backend is not None:
+        engine = make_engine(backend, str(tmp_path / f"engine-{tag}"))
+    server = CloudServer(wal=CommitLog(wal_path), engine=engine)
+    if engine is not None and cache_nodes != 65536:
+        server.attach_engine(engine, cache_nodes=cache_nodes)
+    client = AssuredDeletionClient(LoopbackChannel(server),
+                                   rng=DeterministicRandom(seed))
+    return server, client, wal_path
+
+
+def _script(server, client, checkpoints=()):
+    """A fixed op mix; ``checkpoints[i]`` runs after step i (engine
+    worlds pass compact_storage, the reference world passes nothing)."""
+    def maybe(step):
+        for at, action in checkpoints:
+            if at == step:
+                action()
+    key1 = client.outsource(1, [b"a", b"b", b"c", b"d"])
+    ids1 = client.item_ids_of(4)
+    maybe(0)
+    key1 = client.delete(1, key1, ids1[1])
+    maybe(1)
+    client.modify(1, key1, ids1[0], b"a-v2")
+    key2 = client.outsource(2, [b"x", b"y"])
+    ids2 = client.item_ids_of(2)
+    maybe(2)
+    key2 = client.delete_many(2, key2, [ids2[0]])
+    new_id = client.insert(1, key1, b"e")
+    maybe(3)
+    key3 = client.outsource(3, [b"drop-me"])
+    server.handle(msg.DeleteFileRequest(file_id=3))
+    maybe(4)
+    return {"keys": (key1, key2), "ids": (ids1, ids2, new_id)}
+
+
+@pytest.mark.parametrize("backend", DURABLE)
+def test_twin_world_bit_identical(tmp_path, backend):
+    """Engine-backed state equals the in-memory reference, byte for
+    byte, with compactions interleaved into the op sequence."""
+    ref_server, ref_client, _ = _world(tmp_path, "ref")
+    eng_server, eng_client, _ = _world(tmp_path, backend, backend=backend)
+    _script(ref_server, ref_client)
+    _script(eng_server, eng_client,
+            checkpoints=[(1, eng_server.compact_storage),
+                         (3, eng_server.compact_storage)])
+    assert eng_server.file_ids() == ref_server.file_ids() == [1, 2]
+    for file_id in (1, 2):
+        assert snapshot_file(eng_server, file_id) == \
+            snapshot_file(ref_server, file_id)
+
+
+@pytest.mark.parametrize("backend", DURABLE)
+def test_twin_world_survives_restart(tmp_path, backend):
+    """Close everything, reopen the engine, recover: still identical --
+    and the recovered server pages files in lazily (registry-free)."""
+    ref_server, ref_client, _ = _world(tmp_path, "ref")
+    eng_server, eng_client, wal_path = _world(tmp_path, backend,
+                                              backend=backend)
+    _script(ref_server, ref_client)
+    _script(eng_server, eng_client)
+    eng_server.compact_storage()
+    eng_server.wal.close()
+    eng_server.engine.close()
+
+    engine = make_engine(backend, str(tmp_path / f"engine-{backend}"))
+    recovered = recover_server(None, wal_path, engine=engine)
+    assert recovered.last_recovery["replayed_records"] == 0  # compacted
+    assert recovered.file_ids() == [1, 2]
+    assert not recovered._files  # nothing materialised yet
+    for file_id in (1, 2):
+        assert snapshot_file(recovered, file_id) == \
+            snapshot_file(ref_server, file_id)
+    recovered.wal.close()
+    engine.close()
+
+
+@pytest.mark.parametrize("backend", DURABLE)
+def test_recovered_server_keeps_serving(tmp_path, backend):
+    """Mutations against paged-in (registry-free) files work and stay
+    identical to the reference world applying the same mutations."""
+    ref_server, ref_client, _ = _world(tmp_path, "ref")
+    eng_server, eng_client, wal_path = _world(tmp_path, backend,
+                                              backend=backend)
+    out_ref = _script(ref_server, ref_client)
+    _script(eng_server, eng_client)
+    eng_server.compact_storage()
+    eng_server.wal.close()
+    eng_server.engine.close()
+
+    engine = make_engine(backend, str(tmp_path / f"engine-{backend}"))
+    recovered = recover_server(None, wal_path, engine=engine,
+                               cache_nodes=4)  # force real paging
+    client2 = AssuredDeletionClient(LoopbackChannel(recovered),
+                                    rng=DeterministicRandom("twin-2"),
+                                    keystore=eng_client.keystore,
+                                    store_keys=False)
+    ref_client2 = AssuredDeletionClient(LoopbackChannel(ref_server),
+                                        rng=DeterministicRandom("twin-2"),
+                                        keystore=ref_client.keystore,
+                                        store_keys=False)
+    key1, _key2 = out_ref["keys"]
+    ids1 = out_ref["ids"][0]
+    for cl in (ref_client2, client2):
+        assert cl.access(1, key1, ids1[0]) == b"a-v2"
+        cl.modify(1, key1, ids1[2], b"c-v2")
+        cl.delete(1, key1, ids1[3])
+    recovered.compact_storage()
+    assert snapshot_file(recovered, 1) == snapshot_file(ref_server, 1)
+    recovered.wal.close()
+    engine.close()
+
+
+@pytest.mark.parametrize("backend", DURABLE)
+@pytest.mark.parametrize("point", [CRASH_POINT_BEFORE_FLUSH,
+                                   CRASH_POINT_AFTER_FLUSH])
+def test_compaction_crash_seams_recover(tmp_path, backend, point):
+    """A crash on either side of the engine-flush barrier loses nothing:
+    engine snapshot + WAL tail always rebuilds the reference state."""
+    ref_server, ref_client, _ = _world(tmp_path, "ref")
+    eng_server, eng_client, wal_path = _world(tmp_path, backend,
+                                              backend=backend)
+    _script(ref_server, ref_client)
+    eng_server.compact_storage()  # a first snapshot to crash on top of
+
+    def crashing_compact():
+        eng_server.arm_crash(point)
+        with pytest.raises(SimulatedCrash):
+            eng_server.compact_storage()
+    _script(eng_server, eng_client, checkpoints=[(2, crashing_compact)])
+
+    # Process death: drop the handles (neither seam leaves staged,
+    # unflushed engine writes -- torn flushes are the engine-format
+    # tests' concern) and recover from what is on disk.
+    eng_server.wal.close()
+    eng_server.engine.close()
+    engine = make_engine(backend, str(tmp_path / f"engine-{backend}"))
+    recovered = recover_server(None, wal_path, engine=engine)
+    if point == CRASH_POINT_BEFORE_FLUSH:
+        # The WAL was not truncated: replay must redo the lost tail.
+        assert recovered.last_recovery["replayed_records"] > 0
+    assert recovered.file_ids() == [1, 2]
+    for file_id in (1, 2):
+        assert snapshot_file(recovered, file_id) == \
+            snapshot_file(ref_server, file_id)
+    recovered.wal.close()
+    engine.close()
+
+
+def test_compact_storage_is_incremental(tmp_path):
+    """The second compaction flushes nothing: only state dirtied since
+    the last one is written (the perf point of dirty-node tracking)."""
+    server, client, _ = _world(tmp_path, "inc", backend="sqlite")
+    key = client.outsource(1, [b"a", b"b", b"c"])
+    ids = client.item_ids_of(3)
+    first = server.compact_storage()
+    assert first["files_converted"] == 1
+    second = server.compact_storage()
+    assert second["dirty_records"] == 0
+    assert second["files_converted"] == 0
+    client.delete(1, key, ids[1])
+    third = server.compact_storage()
+    assert third["dirty_records"] > 0
+    assert third["files_flushed"] == 1
+    server.wal.close()
+    server.engine.close()
+
+
+def test_compact_storage_requires_engine(tmp_path):
+    server = CloudServer()
+    with pytest.raises(ReproError):
+        server.compact_storage()
+
+
+def test_engine_backed_server_is_not_picklable(tmp_path):
+    server, _client, _ = _world(tmp_path, "nopickle", backend="sqlite")
+    with pytest.raises(TypeError):
+        pickle.dumps(server)
+    server.wal.close()
+    server.engine.close()
+
+
+def test_checkpoint_delegates_to_compact_storage(tmp_path):
+    """The legacy checkpoint entry point must not pickle an image for an
+    engine-backed server; it compacts instead."""
+    server, client, _ = _world(tmp_path, "ckpt", backend="sqlite")
+    client.outsource(1, [b"a"])
+    image = str(tmp_path / "server.img")
+    checkpoint(server, image)
+    assert not os.path.exists(image)
+    assert server.wal.compactions == 1
+    server.wal.close()
+    server.engine.close()
+
+
+def test_file_visibility_without_materialisation(tmp_path):
+    """has_file / file_ids / file_count see engine-resident files the
+    server never paged in."""
+    server, client, wal_path = _world(tmp_path, "vis", backend="sqlite")
+    client.outsource(1, [b"a"])
+    client.outsource(2, [b"b"])
+    server.compact_storage()
+    server.wal.close()
+    engine_path = str(tmp_path / "engine-vis")
+    server.engine.close()
+    engine = make_engine("sqlite", engine_path)
+    fresh = recover_server(None, wal_path, engine=engine)
+    assert fresh.has_file(1) and fresh.has_file(2)
+    assert not fresh.has_file(3)
+    assert fresh.file_ids() == [1, 2]
+    assert fresh.file_count() == 2
+    assert not fresh._files  # still nothing resident
+    fresh.wal.close()
+    engine.close()
+
+
+def test_delete_file_reaches_the_engine(tmp_path):
+    server, client, _ = _world(tmp_path, "del", backend="sqlite")
+    client.outsource(1, [b"a"])
+    server.compact_storage()
+    assert server.engine.file_ids() == [1]
+    server.handle(msg.DeleteFileRequest(file_id=1))
+    assert server.engine.file_ids() == []
+    assert server.file_ids() == []
+    server.wal.close()
+    server.engine.close()
+
+
+# ---------------------------------------------------------------------
+# Node cache
+# ---------------------------------------------------------------------
+
+def test_node_cache_bounds_and_eviction():
+    cache = NodeCache(capacity=4)
+    for slot in range(10):
+        cache.put((1, 0, slot), b"v%d" % slot)
+    assert len(cache) == 4
+    assert cache.get((1, 0, 9)) == b"v9"
+    assert cache.get((1, 0, 0)) is None  # evicted
+
+
+def test_node_cache_purge_file():
+    cache = NodeCache(capacity=16)
+    cache.put((1, 0, 2), b"a")
+    cache.put((2, 0, 2), b"b")
+    cache.purge_file(1)
+    assert cache.get((1, 0, 2)) is None
+    assert cache.get((2, 0, 2)) == b"b"
+
+
+def test_node_cache_capacity_zero_disables():
+    cache = NodeCache(capacity=0)
+    cache.put((1, 0, 2), b"a")
+    assert cache.get((1, 0, 2)) is None
+    assert len(cache) == 0
+
+
+def test_paging_respects_cache_bound(tmp_path):
+    """A tiny node cache stays tiny while serving reads over a larger
+    paged-in file (the O(working-set) claim, in miniature)."""
+    server, client, wal_path = _world(tmp_path, "bound", backend="sqlite")
+    key = client.outsource(1, [b"r%d" % i for i in range(32)])
+    ids = client.item_ids_of(32)
+    server.compact_storage()
+    server.wal.close()
+    server.engine.close()
+    engine = make_engine("sqlite", str(tmp_path / "engine-bound"))
+    small = recover_server(None, wal_path, engine=engine, cache_nodes=8)
+    client2 = AssuredDeletionClient(LoopbackChannel(small),
+                                    rng=DeterministicRandom("bound-2"),
+                                    keystore=client.keystore,
+                                    store_keys=False)
+    for i in range(0, 32, 5):
+        assert client2.access(1, key, ids[i]) == b"r%d" % i
+    assert len(small._node_cache) <= 8
+    tree_store = small.file_state(1).tree.store
+    assert isinstance(tree_store, PagedModulatorStore)
+    small.wal.close()
+    engine.close()
+
+
+# ---------------------------------------------------------------------
+# WAL compaction markers
+# ---------------------------------------------------------------------
+
+def test_wal_compact_truncates_and_marks(tmp_path):
+    path = str(tmp_path / "wal")
+    with CommitLog(path) as log:
+        log.append(b"one")
+        log.append(b"two")
+        log.compact(b"snapshot files=1")
+        assert log.records() == []
+        assert log.compactions == 1
+        assert log.snapshot_marker == b"snapshot files=1"
+        log.append(b"three")
+    with CommitLog(path) as log:  # reopen: marker survives, records too
+        assert log.records() == [b"three"]
+        assert log.snapshot_marker == b"snapshot files=1"
+
+
+def test_wal_compact_is_crash_atomic(tmp_path):
+    """The compacted log lands via tmp-write + rename: whatever the
+    crash timing, reopening sees either the old or the new log, never a
+    half-written one."""
+    path = str(tmp_path / "wal")
+    with CommitLog(path) as log:
+        log.append(b"keep")
+        log.compact(b"m1")
+        log.append(b"after")
+    # A stale compaction temp from a crashed run must not break reopen.
+    with open(path + ".compact.tmp", "wb") as handle:
+        handle.write(b"garbage")
+    with CommitLog(path) as log:
+        assert log.records() == [b"after"]
+
+
+def test_wal_marker_not_replayed(tmp_path):
+    """Recovery replays data records only -- the snapshot marker is
+    metadata, not a request."""
+    server, client, wal_path = _world(tmp_path, "marker", backend="sqlite")
+    key = client.outsource(1, [b"a"])
+    server.compact_storage()
+    client.insert(1, key, b"b")  # one post-compaction record to replay
+    server.wal.close()
+    server.engine.close()
+    engine = make_engine("sqlite", str(tmp_path / "engine-marker"))
+    recovered = recover_server(None, wal_path, engine=engine)
+    assert recovered.file_ids() == [1]
+    recovered.wal.close()
+    engine.close()
+
+
+# ---------------------------------------------------------------------
+# Sharded tier
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", DURABLE)
+def test_cluster_compact_and_recover_shard(tmp_path, backend):
+    cluster = ShardCluster(2, data_dir=str(tmp_path), durable=True,
+                           storage_backend=backend)
+    try:
+        donor = CloudServer()
+        client = AssuredDeletionClient(LoopbackChannel(donor),
+                                       rng=DeterministicRandom("shard"))
+        client.outsource(1, [b"a", b"b"])
+        client.outsource(2, [b"c"])
+        cluster.adopt_server(donor)
+        stats = cluster.compact()
+        assert len(stats) == 2
+        assert sum(s["files_converted"] for s in stats) == 2
+        before = {fid: snapshot_file(cluster.server_for(fid), fid)
+                  for fid in (1, 2)}
+        for unit in cluster.units:
+            cluster.recover_shard(unit.shard_id)
+        after = {fid: snapshot_file(cluster.server_for(fid), fid)
+                 for fid in (1, 2)}
+        assert after == before
+    finally:
+        cluster.stop()

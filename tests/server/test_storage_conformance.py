@@ -1,0 +1,402 @@
+"""Conformance suite: every storage backend obeys the same contract.
+
+Two backend families are exercised through one shared test body each:
+
+* :class:`~repro.server.storage.CiphertextStore` implementations
+  (in-memory, file-backed, callback overlay);
+* :class:`~repro.server.engine.TreeStore` engines (memory, append-only
+  log, SQLite).
+
+A backend that passes here is substitutable for any other in the
+server; the twin-world tests in ``test_engine_server.py`` then prove
+the substitution is bit-identical under real protocol traffic.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.errors import UnknownItemError
+from repro.server.engine import (KIND_LEAF, KIND_LINK, FileMeta,
+                                 LogTreeStore, MemoryTreeStore,
+                                 SQLiteTreeStore, make_engine)
+from repro.server.storage import (CallbackCiphertextStore,
+                                  FileBackedCiphertextStore,
+                                  InMemoryCiphertextStore)
+
+# ---------------------------------------------------------------------
+# CiphertextStore conformance
+# ---------------------------------------------------------------------
+
+CT_BACKENDS = ("memory", "file", "callback")
+
+
+def make_ct_store(kind: str, tmp_path):
+    if kind == "memory":
+        return InMemoryCiphertextStore()
+    if kind == "file":
+        return FileBackedCiphertextStore(str(tmp_path / "cts"))
+    return CallbackCiphertextStore(lambda item_id: b"derived-%d" % item_id)
+
+
+@pytest.fixture(params=CT_BACKENDS)
+def ct_store(request, tmp_path):
+    return make_ct_store(request.param, tmp_path)
+
+
+def test_ct_put_get_roundtrip(ct_store):
+    ct_store.put(7, b"cipher-7")
+    assert ct_store.get(7) == b"cipher-7"
+
+
+def test_ct_put_replaces(ct_store):
+    ct_store.put(7, b"v1")
+    ct_store.put(7, b"v2")
+    assert ct_store.get(7) == b"v2"
+
+
+def test_ct_unknown_item_raises(ct_store):
+    if isinstance(ct_store, CallbackCiphertextStore):
+        pytest.skip("callback store derives any untouched id by design")
+    with pytest.raises(UnknownItemError):
+        ct_store.get(12345)
+
+
+def test_ct_delete_then_get_raises(ct_store):
+    ct_store.put(9, b"doomed")
+    ct_store.delete(9)
+    with pytest.raises(UnknownItemError):
+        ct_store.get(9)
+
+
+def test_ct_delete_is_idempotent(ct_store):
+    ct_store.put(3, b"x")
+    ct_store.delete(3)
+    ct_store.delete(3)  # second delete of the same id must not raise
+    ct_store.delete(99999)  # nor deleting a never-stored id
+
+
+def test_ct_values_are_defensive_copies(ct_store):
+    value = bytearray(b"mutable")
+    ct_store.put(1, value)
+    value[0] = 0x00
+    assert ct_store.get(1) == b"mutable"
+
+
+def test_ct_distinct_ids_are_independent(ct_store):
+    ct_store.put(1, b"one")
+    ct_store.put(2, b"two")
+    ct_store.delete(1)
+    assert ct_store.get(2) == b"two"
+
+
+@pytest.mark.parametrize("kind", ["memory", "file"])
+def test_ct_survives_pickle(kind, tmp_path):
+    """Server state containing any non-callback store must pickle
+    (the CLI vault snapshot path)."""
+    store = make_ct_store(kind, tmp_path)
+    store.put(5, b"five")
+    clone = pickle.loads(pickle.dumps(store))
+    assert clone.get(5) == b"five"
+
+
+def test_filebacked_crash_mid_write_leaves_old_value(tmp_path):
+    """A torn put (crash between tmp write and rename) must preserve
+    the previous ciphertext: the tmp file is invisible to reads."""
+    store = FileBackedCiphertextStore(str(tmp_path / "cts"))
+    store.put(4, b"old")
+    # Simulate the crash: the tmp file exists, the rename never ran.
+    tmp = store._path(4) + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(b"half-writ")
+    assert store.get(4) == b"old"
+    # And a later clean put wins over the stale tmp.
+    store.put(4, b"new")
+    assert store.get(4) == b"new"
+
+
+def test_filebacked_put_fsyncs_directory(tmp_path, monkeypatch):
+    """The rename's directory entry gets its own fsync (a crash must
+    not forget a freshly acknowledged ciphertext)."""
+    import repro.server.wal as wal_module
+    synced = []
+    monkeypatch.setattr(wal_module, "fsync_directory",
+                        lambda path: synced.append(path))
+    store = FileBackedCiphertextStore(str(tmp_path / "cts"))
+    store.put(1, b"durable")
+    assert synced == [store._path(1)]
+
+
+# ---------------------------------------------------------------------
+# TreeStore engine conformance
+# ---------------------------------------------------------------------
+
+ENGINES = ("memory", "log", "sqlite")
+DURABLE_ENGINES = ("log", "sqlite")
+
+
+def make_tree_store(kind: str, tmp_path):
+    if kind == "memory":
+        return MemoryTreeStore()
+    return make_engine(kind, str(tmp_path / f"engine-{kind}"))
+
+
+def reopen(engine, kind: str, tmp_path):
+    """Close and reopen a durable engine (memory reopens as itself)."""
+    if kind == "memory":
+        return engine
+    engine.close()
+    return make_engine(kind, str(tmp_path / f"engine-{kind}"))
+
+
+@pytest.fixture(params=ENGINES)
+def engine_kind(request):
+    return request.param
+
+
+@pytest.fixture
+def engine(engine_kind, tmp_path):
+    store = make_tree_store(engine_kind, tmp_path)
+    yield store
+    store.close()
+
+
+FID = 42
+
+
+def test_engine_meta_roundtrip(engine):
+    assert engine.get_meta(FID) is None
+    engine.set_meta(FileMeta(FID, version=3, n_leaves=8))
+    meta = engine.get_meta(FID)
+    assert (meta.file_id, meta.version, meta.n_leaves) == (FID, 3, 8)
+    engine.set_meta(FileMeta(FID, version=4, n_leaves=16))
+    assert engine.get_meta(FID).version == 4
+
+
+def test_engine_nodes_roundtrip(engine):
+    engine.write_nodes(FID, [(KIND_LINK, 2, b"L" * 20),
+                             (KIND_LEAF, 4, b"F" * 20)])
+    assert engine.get_node(FID, KIND_LINK, 2) == b"L" * 20
+    assert engine.get_node(FID, KIND_LEAF, 4) == b"F" * 20
+    with pytest.raises(KeyError):
+        engine.get_node(FID, KIND_LINK, 3)
+    # Same slot, different kind: independent addresses.
+    with pytest.raises(KeyError):
+        engine.get_node(FID, KIND_LEAF, 2)
+
+
+def test_engine_node_delete(engine):
+    engine.write_nodes(FID, [(KIND_LEAF, 4, b"x" * 20)])
+    engine.write_nodes(FID, [(KIND_LEAF, 4, None)])
+    with pytest.raises(KeyError):
+        engine.get_node(FID, KIND_LEAF, 4)
+
+
+def test_engine_items_bidirectional(engine):
+    engine.write_items(FID, [(100, 4), (101, 5)])
+    assert engine.get_slot(FID, 100) == 4
+    assert engine.get_item(FID, 5) == 101
+    assert engine.get_slot(FID, 999) is None
+    assert engine.get_item(FID, 6) is None
+
+
+def test_engine_item_move_is_order_independent(engine):
+    """A batch that moves an item onto a just-vacated slot must apply
+    two-pass (removals first), whatever the entry order."""
+    engine.write_items(FID, [(100, 4), (101, 5)])
+    # 101 vanishes, 100 moves onto 101's old slot -- in the 'bad' order.
+    engine.write_items(FID, [(100, 5), (101, None)])
+    assert engine.get_slot(FID, 100) == 5
+    assert engine.get_item(FID, 5) == 100
+    assert engine.get_slot(FID, 101) is None
+    assert engine.get_item(FID, 4) is None
+
+
+def test_engine_item_swap(engine):
+    engine.write_items(FID, [(100, 4), (101, 5)])
+    engine.write_items(FID, [(100, 5), (101, 4)])
+    assert engine.get_item(FID, 4) == 101
+    assert engine.get_item(FID, 5) == 100
+
+
+def test_engine_ciphertexts_roundtrip(engine):
+    engine.write_ciphertexts(FID, [(100, b"ct-100")])
+    assert engine.get_ciphertext(FID, 100) == b"ct-100"
+    engine.write_ciphertexts(FID, [(100, None)])
+    with pytest.raises(KeyError):
+        engine.get_ciphertext(FID, 100)
+
+
+def test_engine_files_are_isolated(engine):
+    engine.set_meta(FileMeta(1, 0, 4))
+    engine.set_meta(FileMeta(2, 0, 4))
+    engine.write_nodes(1, [(KIND_LEAF, 4, b"a" * 20)])
+    engine.write_nodes(2, [(KIND_LEAF, 4, b"b" * 20)])
+    engine.drop_file(1)
+    assert engine.get_meta(1) is None
+    assert engine.get_node(2, KIND_LEAF, 4) == b"b" * 20
+    assert engine.file_ids() == [2]
+
+
+def test_engine_drop_is_idempotent(engine):
+    engine.drop_file(777)  # never stored
+    engine.set_meta(FileMeta(777, 0, 2))
+    engine.drop_file(777)
+    engine.drop_file(777)
+    assert engine.get_meta(777) is None
+
+
+def test_engine_replay_table(engine):
+    entries = [(11, b"reply-a"), (12, b"reply-b")]
+    engine.set_replay_entries(entries)
+    assert engine.replay_entries() == entries
+    engine.set_replay_entries([(13, b"reply-c")])  # replace, not append
+    assert engine.replay_entries() == [(13, b"reply-c")]
+
+
+def test_engine_u64_ids(engine):
+    """File, item, and request ids are uniform u64 -- the top bit set
+    half the time.  Every backend must store them faithfully (SQLite
+    maps through two's complement; the log packs ``>Q``)."""
+    big_fid = 2**64 - 3
+    big_item = 2**63 + 17
+    engine.set_meta(FileMeta(big_fid, 1, 2))
+    engine.write_items(big_fid, [(big_item, 2)])
+    engine.write_ciphertexts(big_fid, [(big_item, b"big")])
+    engine.set_replay_entries([(2**64 - 1, b"r")])
+    assert engine.get_meta(big_fid).file_id == big_fid
+    assert engine.get_slot(big_fid, big_item) == 2
+    assert engine.get_item(big_fid, 2) == big_item
+    assert engine.get_ciphertext(big_fid, big_item) == b"big"
+    assert engine.replay_entries() == [(2**64 - 1, b"r")]
+    assert engine.file_ids() == [big_fid]
+
+
+def test_engine_read_your_writes_before_flush(engine):
+    """Staged writes must be visible to reads before the flush barrier."""
+    engine.write_nodes(FID, [(KIND_LEAF, 4, b"staged" + b"\0" * 14)])
+    assert engine.get_node(FID, KIND_LEAF, 4).startswith(b"staged")
+
+
+@pytest.mark.parametrize("kind", DURABLE_ENGINES)
+def test_engine_reopen_durability(kind, tmp_path):
+    engine = make_tree_store(kind, tmp_path)
+    engine.set_meta(FileMeta(FID, 2, 4))
+    engine.write_nodes(FID, [(KIND_LINK, 2, b"l" * 20),
+                             (KIND_LEAF, 4, b"f" * 20)])
+    engine.write_items(FID, [(100, 4)])
+    engine.write_ciphertexts(FID, [(100, b"ct")])
+    engine.set_replay_entries([(1, b"r")])
+    engine.flush()
+    engine = reopen(engine, kind, tmp_path)
+    try:
+        assert engine.get_meta(FID).version == 2
+        assert engine.get_node(FID, KIND_LINK, 2) == b"l" * 20
+        assert engine.get_slot(FID, 100) == 4
+        assert engine.get_ciphertext(FID, 100) == b"ct"
+        assert engine.replay_entries() == [(1, b"r")]
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("kind", DURABLE_ENGINES)
+def test_engine_unflushed_writes_do_not_survive_crash(kind, tmp_path):
+    """Everything since the last flush is gone after a crash -- the
+    contract ``compact_storage`` relies on when truncating the WAL."""
+    path = str(tmp_path / f"engine-{kind}")
+    engine = make_engine(kind, path)
+    engine.set_meta(FileMeta(FID, 1, 2))
+    engine.flush()
+    engine.write_nodes(FID, [(KIND_LEAF, 2, b"lost" + b"\0" * 16)])
+    engine.set_meta(FileMeta(FID, 9, 2))
+    # Crash: no flush, no close.  SQLite keeps an open transaction that
+    # the journal rolls back; the log has no COMMIT after the records.
+    if kind == "sqlite":
+        # Emulate process death: roll back instead of committing.
+        engine._conn.rollback()
+        engine._conn.close()
+    else:
+        # Drop the handles without emitting a COMMIT record: the bytes
+        # may reach the file, but the opening scan discards them.
+        engine._append.close()
+        engine._read.close()
+    engine = make_engine(kind, path)
+    try:
+        assert engine.get_meta(FID).version == 1
+        with pytest.raises(KeyError):
+            engine.get_node(FID, KIND_LEAF, 2)
+    finally:
+        engine.close()
+
+
+def test_log_engine_truncates_torn_tail(tmp_path):
+    """A partial append (crash mid-write) must truncate back to the
+    last COMMIT; earlier flushed state stays readable."""
+    path = str(tmp_path / "engine.log")
+    engine = LogTreeStore(path)
+    engine.set_meta(FileMeta(FID, 1, 2))
+    engine.write_nodes(FID, [(KIND_LEAF, 2, b"ok" + b"\0" * 18)])
+    engine.flush()
+    engine.close()
+    size = os.path.getsize(path)
+    with open(path, "ab") as handle:  # torn frame: length but no payload
+        handle.write(b"\x00\x00\x00\x30\xde\xad")
+    for cut in (size + 2, size + 6):
+        with open(path, "r+b") as handle:
+            handle.truncate(cut)
+        engine = LogTreeStore(path)
+        assert engine.get_meta(FID).version == 1
+        assert engine.get_node(FID, KIND_LEAF, 2)[:2] == b"ok"
+        engine.close()
+
+
+def test_log_engine_compact_drops_dead_records(tmp_path):
+    """Backend compaction rewrites only live state: the file shrinks
+    after churn, and everything live survives the rewrite."""
+    path = str(tmp_path / "engine.log")
+    engine = LogTreeStore(path)
+    engine.set_meta(FileMeta(FID, 0, 4))
+    for round_no in range(50):
+        engine.write_nodes(FID, [(KIND_LEAF, 4, bytes([round_no]) * 20)])
+        engine.flush()
+    before = os.path.getsize(path)
+    engine.compact()
+    after = os.path.getsize(path)
+    assert after < before
+    assert engine.get_node(FID, KIND_LEAF, 4) == bytes([49]) * 20
+    engine.close()
+    # And the compacted file reopens clean.
+    engine = LogTreeStore(path)
+    assert engine.get_node(FID, KIND_LEAF, 4) == bytes([49]) * 20
+    engine.close()
+
+
+def test_sqlite_engine_compact_vacuums(tmp_path):
+    path = str(tmp_path / "engine.db")
+    engine = SQLiteTreeStore(path)
+    engine.set_meta(FileMeta(FID, 0, 256))
+    engine.write_ciphertexts(FID, [(i, os.urandom(256))
+                                   for i in range(512)])
+    engine.flush()
+    engine.write_ciphertexts(FID, [(i, None) for i in range(512)])
+    engine.flush()
+    before = os.path.getsize(path)
+    engine.compact()
+    assert os.path.getsize(path) < before
+    assert engine.get_meta(FID).n_leaves == 256
+    engine.close()
+
+
+@pytest.mark.parametrize("kind", DURABLE_ENGINES)
+def test_engine_pickle_reopens_by_path(kind, tmp_path):
+    """Engines pickle as a path reference (flush + reopen), so test
+    fixtures holding one can round-trip without copying state."""
+    engine = make_tree_store(kind, tmp_path)
+    engine.set_meta(FileMeta(FID, 5, 4))
+    clone = pickle.loads(pickle.dumps(engine))
+    try:
+        assert clone.get_meta(FID).version == 5
+    finally:
+        clone.close()
+        engine.close()
